@@ -1,0 +1,62 @@
+"""Figure 2 / Tables 9 & 11 — filter time and memory efficiency, FB vs MB.
+
+Regenerates the stage-level breakdown (precompute / train / inference),
+peak RAM and device memory, and the OOM pattern of the paper: full batch
+on the large graphs exhausts the (scaled) device capacity for
+memory-intensive filters, while mini-batch runs them all.
+
+The simulated capacity of 0.30 GiB is calibrated to the default dataset
+scales the same way the paper's 24 GB A30 relates to the full-size
+graphs; see EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.bench import REPRESENTATIVE_FILTERS, efficiency_experiment
+from repro.training import TrainConfig
+
+from .conftest import emit, env_epochs, env_scale, run_once
+
+CAPACITY_GIB = 0.30
+
+COLUMNS = ["dataset", "filter", "type", "scheme", "status", "precompute_s",
+           "train_s_per_epoch", "inference_s", "ram_bytes", "device_bytes"]
+
+
+def test_fig2_efficiency_fb_vs_mb(benchmark):
+    config = TrainConfig(epochs=env_epochs(4), patience=0, eval_every=100,
+                         batch_size=128)
+    rows = run_once(
+        benchmark, efficiency_experiment,
+        dataset_names=("penn94", "arxiv", "pokec", "snap-patents"),
+        filters=REPRESENTATIVE_FILTERS,
+        schemes=("full_batch", "mini_batch"),
+        config=config,
+        scale_override=env_scale(),
+        device_capacity_gib=CAPACITY_GIB,
+    )
+    emit(rows, columns=COLUMNS, title="Fig 2 / Tables 9+11: efficiency")
+
+    def rows_for(**conditions):
+        return [r for r in rows
+                if all(r[k] == v for k, v in conditions.items())]
+
+    # Shape 1 (RQ2): MB never OOMs; FB OOMs on large graphs for heavy filters.
+    assert all(r["status"] == "ok" for r in rows_for(scheme="mini_batch"))
+    fb_large = [r for r in rows_for(scheme="full_batch")
+                if r["dataset"] in ("pokec", "snap-patents")]
+    assert any(r["status"] == "oom" for r in fb_large)
+
+    # Shape 2 (RQ1): on large graphs, MB fixed filters train much faster
+    # than FB (propagation is the bottleneck and MB removed it).
+    for dataset in ("pokec", "snap-patents"):
+        fb = rows_for(scheme="full_batch", dataset=dataset, filter="PPR")[0]
+        mb = rows_for(scheme="mini_batch", dataset=dataset, filter="PPR")[0]
+        assert mb["train_s_per_epoch"] < fb["train_s_per_epoch"]
+
+    # Shape 3: variable filters need several-fold more RAM than fixed under MB.
+    mb_pokec = rows_for(scheme="mini_batch", dataset="pokec")
+    fixed_ram = [r["ram_bytes"] for r in mb_pokec if r["type"] == "fixed"]
+    variable_ram = [r["ram_bytes"] for r in mb_pokec if r["type"] == "variable"]
+    assert min(variable_ram) > 2 * max(fixed_ram) / 3
+    assert max(variable_ram) > max(fixed_ram)

@@ -1,0 +1,42 @@
+"""Figure 5 — time efficiency on different hardware platforms.
+
+Projects one set of measured stage timings onto the S1 (reference) and S2
+(slower CPU, faster GPU) profiles and asserts the paper's crossover: MB
+fixed filters — transform-bound — get faster on S2, while
+propagation-bound stages get slower.
+"""
+
+from __future__ import annotations
+
+from repro.bench import hardware_experiment
+from repro.training import TrainConfig
+
+from .conftest import emit, env_epochs, run_once
+
+
+def test_fig5_hardware_profiles(benchmark):
+    config = TrainConfig(epochs=env_epochs(4), patience=0, eval_every=100,
+                         batch_size=256)
+    rows = run_once(
+        benchmark, hardware_experiment,
+        filters=("monomial", "ppr", "chebyshev", "favard"),
+        dataset_name="penn94",
+        config=config,
+    )
+    emit(rows, title="Fig 5: projected stage times on S1 vs S2")
+
+    def total(filter_display, scheme, platform):
+        return next(r for r in rows
+                    if r["filter"] == filter_display and r["scheme"] == scheme
+                    and r["platform"] == platform)
+
+    # MB fixed filters: training is transform-bound -> faster on S2.
+    mb_s1 = total("PPR", "mini_batch", "S1")
+    mb_s2 = total("PPR", "mini_batch", "S2")
+    assert mb_s2["train_s"] < mb_s1["train_s"]
+    # The propagation-bound precompute slows down on S2's slower CPUs.
+    assert mb_s2["precompute_s"] > mb_s1["precompute_s"]
+    # FB training is propagation-bound -> slower on S2.
+    fb_s1 = total("PPR", "full_batch", "S1")
+    fb_s2 = total("PPR", "full_batch", "S2")
+    assert fb_s2["train_s"] > fb_s1["train_s"]

@@ -1,0 +1,25 @@
+"""Table 1 — taxonomy of spectral filters, verified by metered execution.
+
+Regenerates the complexity columns of the paper's Table 1 and checks the
+measured propagation-hop counts and mini-batch channel counts against the
+declared O(·) classes.
+"""
+
+from __future__ import annotations
+
+from repro.bench import taxonomy_experiment
+
+from .conftest import emit, run_once
+
+
+def test_table1_taxonomy(benchmark):
+    rows = run_once(benchmark, taxonomy_experiment, num_hops=10)
+    emit(rows, title="Table 1: filter taxonomy (measured)")
+    assert len(rows) == 27
+    by_name = {r["filter"]: r for r in rows}
+    # O(K²mF) filters are the only ones with quadratic hop counts.
+    assert by_name["Bernstein"]["quadratic_hops"]
+    assert not by_name["Chebyshev"]["quadratic_hops"]
+    # Fixed filters combine during precompute (1 channel); variable keep K+1.
+    assert by_name["PPR"]["mb_channels"] == 1
+    assert by_name["Monomial (var)"]["mb_channels"] == 11

@@ -1,0 +1,49 @@
+"""Table 7 — R² of graph regression on five spectral signal functions.
+
+Fits every filter family to the band / combine / high / low / reject
+transfer functions. Asserts the paper's shapes: most filters score highest
+on LOW/REJECT; fixed low-pass filters fail on HIGH/BAND; adaptive bases
+(OptBasis) lead across the board.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import regression_experiment
+
+from .conftest import emit, env_epochs, run_once
+
+FILTERS = ("ppr", "linear", "impulse", "monomial", "hk", "gaussian",
+           "monomial_var", "horner", "chebyshev", "clenshaw", "chebinterp",
+           "bernstein", "legendre", "jacobi", "favard", "optbasis")
+
+
+def test_table7_signal_regression(benchmark):
+    rows = run_once(
+        benchmark, regression_experiment,
+        filters=FILTERS,
+        scale=0.08,
+        num_hops=10,
+        epochs=env_epochs(150),
+    )
+    emit(rows, title="Table 7: signal-regression R² (×100)")
+    table = {r["filter"]: r for r in rows}
+
+    # Fixed low-pass filters: good on LOW, poor on HIGH and BAND.
+    for name in ("PPR", "HK", "Impulse"):
+        assert table[name]["low"] > 60
+        assert table[name]["high"] < 50
+        assert table[name]["band"] < 50
+
+    # OptBasis outperforms every fixed filter on the high-frequency signals.
+    fixed = ("PPR", "Linear", "Impulse", "Monomial", "HK", "Gaussian")
+    for signal in ("band", "high", "combine"):
+        assert table["OptBasis"][signal] > max(table[f][signal] for f in fixed)
+
+    # Variable bases dominate fixed ones on the hard signals on average.
+    variable = ("Chebyshev", "ChebInterp", "Bernstein", "Jacobi", "OptBasis")
+    hard = ("band", "high", "combine")
+    var_mean = np.mean([[table[f][s] for s in hard] for f in variable])
+    fixed_mean = np.mean([[table[f][s] for s in hard] for f in fixed])
+    assert var_mean > fixed_mean

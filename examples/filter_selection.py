@@ -1,0 +1,86 @@
+"""Filter selection by graph spectrum: the paper's C5 guideline, executable.
+
+The benchmark's core practical advice: *understand the graph first, then
+pick the simplest filter whose frequency response matches it*. This script
+walks that workflow on one homophilous and one heterophilous dataset:
+
+1. measure homophily and decompose the label signal on the Laplacian
+   eigenbasis;
+2. screen the **fixed** filters by the alignment between their frequency
+   response and the label signal's spectral energy — no training needed;
+3. train everything (fixed + adaptive) and confirm that (a) the screening
+   ranks the fixed filters correctly and (b) the alignment of the *learned*
+   responses tracks accuracy across all filters (RQ6/C5).
+
+Run:  python examples/filter_selection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import render_table
+from repro.datasets import synthesize
+from repro.filters import REGISTRY, make_filter
+from repro.graph import node_homophily
+from repro.spectral import response_alignment
+from repro.tasks import run_node_classification
+from repro.training import TrainConfig
+
+FIXED_CANDIDATES = ("impulse", "ppr", "monomial", "hk")
+ADAPTIVE_CANDIDATES = ("chebyshev", "bernstein", "fagnn")
+
+
+def label_signal(graph) -> np.ndarray:
+    one_hot = np.zeros((graph.num_nodes, graph.num_classes))
+    one_hot[np.arange(graph.num_nodes), graph.labels] = 1.0
+    return one_hot - one_hot.mean(axis=0, keepdims=True)
+
+
+def analyze(name: str, scale: float) -> None:
+    graph = synthesize(name, scale=scale, seed=0)
+    signal = label_signal(graph)
+    print(f"\n=== {name}: H = {node_homophily(graph):.2f} ===")
+
+    config = TrainConfig(epochs=60, patience=30, seed=0)
+    rows = []
+    for filter_name in FIXED_CANDIDATES + ADAPTIVE_CANDIDATES:
+        filter_ = make_filter(filter_name, num_hops=10,
+                              num_features=graph.num_features)
+        screening = response_alignment(filter_, graph, signal)
+        result = run_node_classification(graph, filter_name,
+                                         scheme="full_batch", config=config)
+        learned = response_alignment(filter_, graph, signal,
+                                     params=result.filter_params)
+        rows.append(
+            {
+                "filter": filter_name,
+                "type": REGISTRY[filter_name].category,
+                "screen_alignment": f"{screening:.3f}",
+                "learned_alignment": f"{learned:.3f}",
+                "test_acc": f"{result.test_score:.3f}",
+            }
+        )
+    rows.sort(key=lambda r: -float(r["learned_alignment"]))
+    print(render_table(rows, title="spectral alignment vs trained accuracy"))
+
+    fixed = [r for r in rows if r["type"] == "fixed"]
+    screened_best = max(fixed, key=lambda r: float(r["screen_alignment"]))
+    actual_best_fixed = max(fixed, key=lambda r: float(r["test_acc"]))
+    print(f"fixed-filter screening suggested: {screened_best['filter']}; "
+          f"best fixed after training: {actual_best_fixed['filter']}")
+
+    alignment = np.array([float(r["learned_alignment"]) for r in rows])
+    accuracy = np.array([float(r["test_acc"]) for r in rows])
+    corr = np.corrcoef(alignment, accuracy)[0, 1]
+    print(f"corr(learned alignment, accuracy) = {corr:.2f} "
+          "(C5: response/graph match drives effectiveness)")
+
+
+def main() -> None:
+    analyze("cora", scale=0.5)       # homophilous: low-pass aligns
+    analyze("chameleon", scale=1.0)  # heterophilous: high-frequency aligns
+
+
+if __name__ == "__main__":
+    main()

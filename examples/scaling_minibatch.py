@@ -1,0 +1,64 @@
+"""Scaling study: why mini-batch is the spectral GNN superpower (RQ1/RQ2).
+
+Trains the same filter under full-batch and mini-batch across three graph
+scales (S/M/L stand-ins) and prints the paper's Figure 2 story in one
+table: FB device memory grows with the graph and eventually OOMs, MB keeps
+the device footprint flat and shifts cost into a one-off CPU precompute —
+winning big exactly where propagation dominates.
+
+Run:  python examples/scaling_minibatch.py
+"""
+
+from __future__ import annotations
+
+from repro.bench import load_dataset, render_table
+from repro.tasks import run_node_classification
+from repro.training import TrainConfig
+
+DATASETS = ("cora", "arxiv", "pokec")   # S, M, L at default bench scales
+FILTER = "chebyshev"                    # a variable filter: the harder case
+CAPACITY_GIB = 0.10                     # scaled stand-in for a 24 GB card
+
+
+def main() -> None:
+    config = TrainConfig(epochs=10, patience=0, eval_every=100,
+                         batch_size=512, seed=0)
+    rows = []
+    for dataset in DATASETS:
+        graph = load_dataset(dataset, seed=0)
+        for scheme in ("full_batch", "mini_batch"):
+            result = run_node_classification(
+                graph, FILTER, scheme=scheme, config=config,
+                device_capacity_gib=CAPACITY_GIB)
+            rows.append(
+                {
+                    "dataset": dataset,
+                    "n": graph.num_nodes,
+                    "m": graph.num_edges,
+                    "scheme": scheme,
+                    "status": result.status,
+                    "acc": "-" if result.is_oom else f"{result.test_score:.3f}",
+                    "precompute_s": f"{result.precompute_seconds:.2f}",
+                    "train_ms/ep": f"{result.train_seconds_per_epoch * 1e3:.0f}",
+                    "device_MB": f"{result.device_peak_bytes / 2**20:.0f}",
+                    "ram_MB": f"{result.ram_peak_bytes / 2**20:.0f}",
+                }
+            )
+    print(render_table(
+        rows, title=f"{FILTER} under FB vs MB across scales "
+                    f"(simulated {CAPACITY_GIB} GiB device)"))
+    print(
+        "\nReading guide (matches the paper's RQ1/RQ2):\n"
+        " - FB device memory scales with n·m and hits (OOM) on the largest"
+        " graph;\n"
+        " - MB device memory is flat: only weights + one batch live on"
+        " device;\n"
+        " - MB trades that for RAM (the K+1 stored hop channels) and a"
+        " one-off precompute;\n"
+        " - the MB speedup grows with graph size because it removes the"
+        " per-epoch propagation."
+    )
+
+
+if __name__ == "__main__":
+    main()

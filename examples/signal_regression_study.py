@@ -1,0 +1,70 @@
+"""Signal-regression study: what can each filter family express? (Table 7)
+
+Fits representative filters to the five spectral transfer functions and
+prints the R² matrix plus each learned filter's frequency response, making
+the paper's RQ7 conclusion tangible: effectiveness is the match between a
+filter's *attainable* response shape and the target signal.
+
+Run:  python examples/signal_regression_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import render_table
+from repro.datasets import SIGNAL_NAMES, synthesize
+from repro.filters import make_filter
+from repro.tasks import run_signal_regression
+
+FILTERS = ("ppr", "hk", "monomial_var", "horner", "chebyshev", "bernstein",
+           "optbasis")
+
+
+def sparkline(values: np.ndarray, width: int = 24) -> str:
+    """Render a response curve as a compact unicode sparkline."""
+    blocks = " ▁▂▃▄▅▆▇█"
+    values = np.asarray(values, dtype=float)
+    picked = values[np.linspace(0, len(values) - 1, width).astype(int)]
+    low, high = picked.min(), picked.max()
+    span = max(high - low, 1e-9)
+    return "".join(blocks[int((v - low) / span * (len(blocks) - 1))]
+                   for v in picked)
+
+
+def main() -> None:
+    graph = synthesize("cora", scale=0.1, seed=0)
+    lams = np.linspace(0.0, 2.0, 48)
+
+    rows = []
+    responses = {}
+    for filter_name in FILTERS:
+        row = {"filter": filter_name}
+        for signal_name in SIGNAL_NAMES:
+            result = run_signal_regression(graph, filter_name, signal_name,
+                                           num_hops=10, epochs=150, seed=0)
+            row[signal_name] = f"{100 * result.r2:6.1f}"
+            if signal_name == "band":
+                filter_ = make_filter(filter_name, num_hops=10,
+                                      num_features=4)
+                responses[filter_name] = filter_.response(
+                    lams, result.learned_params or None)
+        rows.append(row)
+    print(render_table(rows, title="R² (×100) per filter × signal"))
+
+    print("\nLearned responses after fitting the BAND signal "
+          "(target: bump at λ=1):")
+    from repro.datasets import SIGNAL_FUNCTIONS
+
+    print(f"  {'target':12s} {sparkline(SIGNAL_FUNCTIONS['band'](lams))}")
+    for name, response in responses.items():
+        print(f"  {name:12s} {sparkline(response)}")
+    print(
+        "\nFixed low-pass filters (ppr, hk) cannot bend toward the band"
+        " target;\nvariable bases reshape themselves to it — the expressive"
+        " gap Table 7 quantifies."
+    )
+
+
+if __name__ == "__main__":
+    main()

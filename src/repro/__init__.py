@@ -1,0 +1,55 @@
+"""repro — a unified spectral GNN benchmark, rebuilt from first principles.
+
+Reproduction of "A Comprehensive Benchmark on Spectral GNNs: The Impact on
+Efficiency, Memory, and Effectiveness" (SIGMOD): 27 spectral graph filters
+in a taxonomy of fixed / variable / filter-bank designs, trainable under
+full-batch, mini-batch, and graph-partition schemes, with an evaluation
+harness regenerating every table and figure of the paper.
+
+Quickstart::
+
+    from repro.datasets import synthesize
+    from repro.tasks import run_node_classification
+    from repro.training import TrainConfig
+
+    graph = synthesize("cora", scale=0.5, seed=0)
+    result = run_node_classification(graph, "ppr", scheme="mini_batch",
+                                     config=TrainConfig(epochs=50))
+    print(result.test_score)
+"""
+
+from . import autodiff, bench, datasets, filters, graph, models, nn
+from . import runtime, spectral, tasks, training
+from .errors import (
+    AutodiffError,
+    DatasetError,
+    DeviceOOMError,
+    FilterError,
+    GraphError,
+    ReproError,
+    TrainingError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "autodiff",
+    "nn",
+    "graph",
+    "filters",
+    "models",
+    "datasets",
+    "training",
+    "tasks",
+    "spectral",
+    "runtime",
+    "bench",
+    "ReproError",
+    "GraphError",
+    "FilterError",
+    "AutodiffError",
+    "DatasetError",
+    "TrainingError",
+    "DeviceOOMError",
+    "__version__",
+]

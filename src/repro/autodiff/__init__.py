@@ -1,0 +1,37 @@
+"""Reverse-mode autodiff over numpy: the training substrate.
+
+Public surface::
+
+    from repro.autodiff import Tensor, no_grad, spmm
+    from repro.autodiff import functional as F
+    from repro.autodiff.optim import Adam
+"""
+
+from . import functional, init, optim
+from .sparse import spmm, spmm_numpy
+from .tensor import (
+    Tensor,
+    as_tensor,
+    concatenate,
+    is_grad_enabled,
+    no_grad,
+    set_allocation_hook,
+    stack,
+    where,
+)
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "concatenate",
+    "stack",
+    "where",
+    "no_grad",
+    "is_grad_enabled",
+    "set_allocation_hook",
+    "spmm",
+    "spmm_numpy",
+    "functional",
+    "init",
+    "optim",
+]

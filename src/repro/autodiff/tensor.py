@@ -1,0 +1,618 @@
+"""A small reverse-mode automatic differentiation engine over numpy.
+
+This module is the stand-in for the PyTorch autograd substrate the paper's
+artifact builds on. It provides a :class:`Tensor` wrapping a numpy array
+together with a dynamically-built computation graph and a topological-order
+backward pass. Only what the benchmark needs is implemented, but everything
+implemented is exact: gradients are validated against finite differences in
+the test suite.
+
+Design notes
+------------
+- Tensors are immutable from the graph's point of view: ops return new
+  tensors; ``data`` should not be mutated after a tensor participates in a
+  graph (optimizers mutate leaf parameters between graph builds, which is
+  fine).
+- Broadcasting follows numpy semantics; gradients are un-broadcast by
+  summing over the broadcast axes.
+- An optional allocation hook lets the runtime layer meter every array the
+  engine materializes, which is how the simulated device accounts "GPU"
+  memory without a GPU.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import AutodiffError
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+_grad_enabled = True
+_allocation_hook: Optional[Callable[[int], None]] = None
+
+
+def set_allocation_hook(hook: Optional[Callable[[int], None]]) -> None:
+    """Install ``hook(nbytes)`` called for every array the engine allocates.
+
+    Used by :mod:`repro.runtime.device` to meter simulated device memory.
+    Pass ``None`` to remove the hook.
+    """
+    global _allocation_hook
+    _allocation_hook = hook
+
+
+def _notify_alloc(arr: np.ndarray) -> None:
+    if _allocation_hook is not None:
+        _allocation_hook(arr.nbytes)
+
+
+@contextmanager
+def no_grad() -> Iterator[None]:
+    """Context manager disabling graph construction (inference mode)."""
+    global _grad_enabled
+    previous = _grad_enabled
+    _grad_enabled = False
+    try:
+        yield
+    finally:
+        _grad_enabled = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether new ops will be recorded on the autodiff graph."""
+    return _grad_enabled
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` by summing broadcast axes."""
+    if grad.shape == shape:
+        return grad
+    # Sum leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum axes that were size-1 in the original shape.
+    axes = tuple(i for i, size in enumerate(shape) if size == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with an optional gradient and autodiff history.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; converted to a float numpy array.
+    requires_grad:
+        Whether gradients should be accumulated into ``.grad`` for this
+        tensor during :meth:`backward`.
+    dtype:
+        Optional dtype override. Defaults to ``float32`` for fresh arrays
+        (matching common GNN practice) while preserving float64 inputs so
+        gradient checks can run in double precision.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "_op")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        dtype: Optional[np.dtype] = None,
+    ):
+        if isinstance(data, Tensor):
+            raise AutodiffError("wrap raw arrays, not Tensors")
+        arr = np.asarray(data)
+        if dtype is not None:
+            arr = arr.astype(dtype, copy=False)
+        elif not np.issubdtype(arr.dtype, np.floating):
+            arr = arr.astype(np.float32)
+        self.data: np.ndarray = arr
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad)
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: tuple = ()
+        self._op: str = "leaf"
+        _notify_alloc(self.data)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+        op: str,
+    ) -> "Tensor":
+        requires = _grad_enabled and any(p.requires_grad for p in parents)
+        out = Tensor.__new__(Tensor)
+        out.data = data
+        out.grad = None
+        out.requires_grad = requires
+        if requires:
+            out._backward = backward
+            out._parents = tuple(parents)
+        else:
+            out._backward = None
+            out._parents = ()
+        out._op = op
+        _notify_alloc(data)
+        return out
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, op={self._op!r}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a Python float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else self._item_error()
+
+    def _item_error(self) -> float:
+        raise AutodiffError(f"item() requires a single-element tensor, got shape {self.shape}")
+
+    def detach(self) -> "Tensor":
+        """Return a tensor sharing data but cut from the autodiff graph."""
+        out = Tensor.__new__(Tensor)
+        out.data = self.data
+        out.grad = None
+        out.requires_grad = False
+        out._backward = None
+        out._parents = ()
+        out._op = "detach"
+        return out
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # backward pass
+    # ------------------------------------------------------------------
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode differentiation from this tensor.
+
+        Parameters
+        ----------
+        grad:
+            Seed gradient. Defaults to ones, which for the usual scalar loss
+            is the conventional seed of 1.0.
+        """
+        if not self.requires_grad:
+            raise AutodiffError("backward() on a tensor that does not require grad")
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+            if grad.shape != self.data.shape:
+                raise AutodiffError(
+                    f"seed gradient shape {grad.shape} != tensor shape {self.data.shape}"
+                )
+
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in seen:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None:
+                # Leaf: accumulate into .grad
+                if node.grad is None:
+                    node.grad = node_grad.copy()
+                else:
+                    node.grad = node.grad + node_grad
+                continue
+            node._accumulate_parent_grads(node_grad, grads)
+
+    def _accumulate_parent_grads(
+        self, node_grad: np.ndarray, grads: dict[int, np.ndarray]
+    ) -> None:
+        parent_grads = self._backward(node_grad)
+        if not isinstance(parent_grads, tuple):
+            parent_grads = (parent_grads,)
+        if len(parent_grads) != len(self._parents):
+            raise AutodiffError(
+                f"op {self._op!r} returned {len(parent_grads)} grads for "
+                f"{len(self._parents)} parents"
+            )
+        for parent, pgrad in zip(self._parents, parent_grads):
+            if pgrad is None or not parent.requires_grad:
+                continue
+            if parent._backward is None:
+                # Leaf node: accumulate directly.
+                if parent.grad is None:
+                    parent.grad = pgrad.copy()
+                else:
+                    parent.grad = parent.grad + pgrad
+            else:
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + pgrad
+                else:
+                    grads[key] = pgrad
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def _coerce(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        if isinstance(other, Tensor):
+            return other
+        return Tensor(np.asarray(other, dtype=self.data.dtype))
+
+    def __add__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self, other
+        data = a.data + b.data
+
+        def backward(grad: np.ndarray):
+            return (_unbroadcast(grad, a.shape), _unbroadcast(grad, b.shape))
+
+        return Tensor._make(data, (a, b), backward, "add")
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self, other
+        data = a.data - b.data
+
+        def backward(grad: np.ndarray):
+            return (_unbroadcast(grad, a.shape), _unbroadcast(-grad, b.shape))
+
+        return Tensor._make(data, (a, b), backward, "sub")
+
+    def __rsub__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self, other
+        data = a.data * b.data
+
+        def backward(grad: np.ndarray):
+            return (
+                _unbroadcast(grad * b.data, a.shape),
+                _unbroadcast(grad * a.data, b.shape),
+            )
+
+        return Tensor._make(data, (a, b), backward, "mul")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self, other
+        data = a.data / b.data
+
+        def backward(grad: np.ndarray):
+            return (
+                _unbroadcast(grad / b.data, a.shape),
+                _unbroadcast(-grad * a.data / (b.data * b.data), b.shape),
+            )
+
+        return Tensor._make(data, (a, b), backward, "div")
+
+    def __rtruediv__(self, other: Union["Tensor", ArrayLike]) -> "Tensor":
+        return self._coerce(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        a = self
+
+        def backward(grad: np.ndarray):
+            return (-grad,)
+
+        return Tensor._make(-a.data, (a,), backward, "neg")
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise AutodiffError("tensor exponents are not supported; use exp/log")
+        a = self
+        data = a.data ** exponent
+
+        def backward(grad: np.ndarray):
+            return (grad * exponent * a.data ** (exponent - 1),)
+
+        return Tensor._make(data, (a,), backward, "pow")
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other = self._coerce(other)
+        a, b = self, other
+        if a.ndim > 2 or b.ndim > 2:
+            return _batched_matmul(a, b)
+        data = a.data @ b.data
+
+        def backward(grad: np.ndarray):
+            grad_a = grad @ b.data.T if a.requires_grad else None
+            grad_b = a.data.T @ grad if b.requires_grad else None
+            return (grad_a, grad_b)
+
+        return Tensor._make(data, (a, b), backward, "matmul")
+
+    # ------------------------------------------------------------------
+    # elementwise functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        a = self
+        data = np.exp(a.data)
+
+        def backward(grad: np.ndarray):
+            return (grad * data,)
+
+        return Tensor._make(data, (a,), backward, "exp")
+
+    def log(self) -> "Tensor":
+        a = self
+        data = np.log(a.data)
+
+        def backward(grad: np.ndarray):
+            return (grad / a.data,)
+
+        return Tensor._make(data, (a,), backward, "log")
+
+    def sqrt(self) -> "Tensor":
+        a = self
+        data = np.sqrt(a.data)
+
+        def backward(grad: np.ndarray):
+            return (grad * 0.5 / data,)
+
+        return Tensor._make(data, (a,), backward, "sqrt")
+
+    def abs(self) -> "Tensor":
+        a = self
+        data = np.abs(a.data)
+
+        def backward(grad: np.ndarray):
+            return (grad * np.sign(a.data),)
+
+        return Tensor._make(data, (a,), backward, "abs")
+
+    def tanh(self) -> "Tensor":
+        a = self
+        data = np.tanh(a.data)
+
+        def backward(grad: np.ndarray):
+            return (grad * (1.0 - data * data),)
+
+        return Tensor._make(data, (a,), backward, "tanh")
+
+    def sigmoid(self) -> "Tensor":
+        a = self
+        # Numerically stable logistic.
+        data = np.where(
+            a.data >= 0,
+            1.0 / (1.0 + np.exp(-np.clip(a.data, -60, 60))),
+            np.exp(np.clip(a.data, -60, 60)) / (1.0 + np.exp(np.clip(a.data, -60, 60))),
+        )
+
+        def backward(grad: np.ndarray):
+            return (grad * data * (1.0 - data),)
+
+        return Tensor._make(data, (a,), backward, "sigmoid")
+
+    def relu(self) -> "Tensor":
+        a = self
+        mask = a.data > 0
+        data = np.where(mask, a.data, 0.0)
+
+        def backward(grad: np.ndarray):
+            return (grad * mask,)
+
+        return Tensor._make(data, (a,), backward, "relu")
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        a = self
+        data = np.clip(a.data, low, high)
+        mask = (a.data >= low) & (a.data <= high)
+
+        def backward(grad: np.ndarray):
+            return (grad * mask,)
+
+        return Tensor._make(data, (a,), backward, "clip")
+
+    # ------------------------------------------------------------------
+    # reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis: Optional[Union[int, tuple]] = None, keepdims: bool = False) -> "Tensor":
+        a = self
+        data = a.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray):
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            return (np.broadcast_to(g, a.shape).copy(),)
+
+        return Tensor._make(np.asarray(data), (a,), backward, "sum")
+
+    def mean(self, axis: Optional[Union[int, tuple]] = None, keepdims: bool = False) -> "Tensor":
+        a = self
+        data = a.data.mean(axis=axis, keepdims=keepdims)
+        if axis is None:
+            count = a.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([a.shape[i] for i in axis]))
+        else:
+            count = a.shape[axis]
+
+        def backward(grad: np.ndarray):
+            g = grad
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            return (np.broadcast_to(g, a.shape) / count,)
+
+        return Tensor._make(np.asarray(data), (a,), backward, "mean")
+
+    def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        a = self
+        data = a.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray):
+            g = grad
+            d = data
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+                d = np.expand_dims(d, axis)
+            mask = a.data == d
+            # Split gradient evenly among ties (matches subgradient choice).
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            return (mask * g / counts,)
+
+        return Tensor._make(np.asarray(data), (a,), backward, "max")
+
+    # ------------------------------------------------------------------
+    # shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        a = self
+        data = a.data.reshape(shape)
+
+        def backward(grad: np.ndarray):
+            return (grad.reshape(a.shape),)
+
+        return Tensor._make(data, (a,), backward, "reshape")
+
+    def transpose(self, axes: Optional[tuple] = None) -> "Tensor":
+        a = self
+        data = a.data.transpose(axes)
+        if axes is None:
+            inverse = None
+        else:
+            inverse = tuple(np.argsort(axes))
+
+        def backward(grad: np.ndarray):
+            return (grad.transpose(inverse),)
+
+        return Tensor._make(data, (a,), backward, "transpose")
+
+    def __getitem__(self, index) -> "Tensor":
+        a = self
+        data = a.data[index]
+
+        def backward(grad: np.ndarray):
+            out = np.zeros_like(a.data)
+            np.add.at(out, index, grad)
+            return (out,)
+
+        return Tensor._make(data, (a,), backward, "getitem")
+
+
+def _batched_matmul(a: Tensor, b: Tensor) -> Tensor:
+    """Matmul with numpy broadcasting over batch dimensions (ndim up to 3)."""
+    data = a.data @ b.data
+
+    def backward(grad: np.ndarray):
+        grad_a = grad @ np.swapaxes(b.data, -1, -2) if a.requires_grad else None
+        grad_b = np.swapaxes(a.data, -1, -2) @ grad if b.requires_grad else None
+        if grad_a is not None:
+            grad_a = _unbroadcast(grad_a, a.shape)
+        if grad_b is not None:
+            grad_b = _unbroadcast(grad_b, b.shape)
+        return (grad_a, grad_b)
+
+    return Tensor._make(data, (a, b), backward, "bmm")
+
+
+# ----------------------------------------------------------------------
+# free functions over tensors
+# ----------------------------------------------------------------------
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    parts = list(tensors)
+    data = np.concatenate([t.data for t in parts], axis=axis)
+    sizes = [t.shape[axis] for t in parts]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray):
+        slicer: list = [slice(None)] * grad.ndim
+        grads = []
+        for i in range(len(parts)):
+            slicer[axis] = slice(offsets[i], offsets[i + 1])
+            grads.append(grad[tuple(slicer)])
+        return tuple(grads)
+
+    return Tensor._make(data, parts, backward, "concat")
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient routing."""
+    parts = list(tensors)
+    data = np.stack([t.data for t in parts], axis=axis)
+
+    def backward(grad: np.ndarray):
+        return tuple(np.take(grad, i, axis=axis) for i in range(len(parts)))
+
+    return Tensor._make(data, parts, backward, "stack")
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise select; ``condition`` is a constant boolean array."""
+    cond = np.asarray(condition, dtype=bool)
+    data = np.where(cond, a.data, b.data)
+
+    def backward(grad: np.ndarray):
+        return (
+            _unbroadcast(np.where(cond, grad, 0.0), a.shape),
+            _unbroadcast(np.where(cond, 0.0, grad), b.shape),
+        )
+
+    return Tensor._make(data, (a, b), backward, "where")
+
+
+def as_tensor(value: Union[Tensor, ArrayLike], dtype: Optional[np.dtype] = None) -> Tensor:
+    """Coerce arrays/scalars to :class:`Tensor`; pass tensors through."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, dtype=dtype)

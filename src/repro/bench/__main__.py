@@ -1,0 +1,121 @@
+"""Command-line entry for the benchmark harness.
+
+Runs any paper-artifact experiment by name and prints its table::
+
+    python -m repro.bench --list
+    python -m repro.bench taxonomy
+    python -m repro.bench effectiveness --datasets cora roman --epochs 60
+    python -m repro.bench efficiency --filters ppr chebyshev --schemes mini_batch
+    python -m repro.bench regression --epochs 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict
+
+from ..training.loop import TrainConfig
+from . import experiments
+from .report import render_table
+
+#: experiment name -> (runner, paper artifact, accepts-config)
+EXPERIMENTS: Dict[str, tuple] = {
+    "taxonomy": (experiments.taxonomy_experiment, "Table 1", False),
+    "efficiency": (experiments.efficiency_experiment, "Figure 2 / Tables 9+11", True),
+    "effectiveness": (experiments.effectiveness_experiment, "Table 5", True),
+    "scale-shift": (experiments.scale_shift_experiment, "Figure 3", True),
+    "stability": (experiments.stability_experiment, "Figure 4", True),
+    "hardware": (experiments.hardware_experiment, "Figure 5", True),
+    "baselines": (experiments.baseline_experiment, "Table 6", True),
+    "linkpred": (experiments.linkpred_experiment, "Figure 6", True),
+    "regression": (experiments.regression_experiment, "Table 7", False),
+    "hops": (experiments.hop_sweep_experiment, "Figure 7", True),
+    "tsne": (experiments.tsne_experiment, "Figure 8", True),
+    "degree-bias": (experiments.degree_bias_experiment, "Figure 9", True),
+    "normalization": (experiments.normalization_experiment, "Figure 10", True),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate one of the paper's tables/figures.")
+    parser.add_argument("experiment", nargs="?",
+                        help=f"one of: {', '.join(EXPERIMENTS)}")
+    parser.add_argument("--list", action="store_true",
+                        help="list experiments and exit")
+    parser.add_argument("--datasets", nargs="+", default=None,
+                        help="dataset registry names")
+    parser.add_argument("--filters", nargs="+", default=None,
+                        help="filter registry names")
+    parser.add_argument("--schemes", nargs="+", default=None,
+                        choices=["full_batch", "mini_batch", "graph_partition"])
+    parser.add_argument("--epochs", type=int, default=None)
+    parser.add_argument("--seeds", nargs="+", type=int, default=None)
+    parser.add_argument("--scale", type=float, default=None,
+                        help="dataset scale override")
+    parser.add_argument("--capacity-gib", type=float, default=None,
+                        help="simulated device capacity (GiB)")
+    parser.add_argument("--output", type=str, default=None,
+                        help="save rows as JSON to this path")
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiment:
+        rows = [{"experiment": name, "reproduces": artifact}
+                for name, (_, artifact, _) in EXPERIMENTS.items()]
+        print(render_table(rows, title="available experiments"))
+        return 0
+
+    entry = EXPERIMENTS.get(args.experiment)
+    if entry is None:
+        parser.error(f"unknown experiment {args.experiment!r}; use --list")
+    runner, artifact, takes_config = entry
+
+    kwargs = {}
+    if args.datasets:
+        if args.experiment == "hardware":
+            kwargs["dataset_name"] = args.datasets[0]
+        else:
+            kwargs["dataset_names"] = tuple(args.datasets)
+    if args.filters:
+        kwargs["filters"] = tuple(args.filters)
+    if args.schemes and args.experiment == "efficiency":
+        kwargs["schemes"] = tuple(args.schemes)
+    if args.seeds and args.experiment in ("effectiveness", "stability",
+                                          "scale-shift", "hops",
+                                          "degree-bias", "normalization"):
+        kwargs["seeds"] = tuple(args.seeds)
+    if args.scale is not None and args.experiment in ("efficiency",
+                                                      "effectiveness"):
+        kwargs["scale_override"] = args.scale
+    if args.capacity_gib is not None and args.experiment in ("efficiency",
+                                                             "baselines"):
+        kwargs["device_capacity_gib"] = args.capacity_gib
+    if takes_config and args.epochs is not None:
+        kwargs["config"] = TrainConfig(epochs=args.epochs,
+                                       patience=max(args.epochs // 2, 1))
+    if not takes_config and args.epochs is not None:
+        kwargs["epochs"] = args.epochs
+
+    rows = runner(**kwargs)
+    printable = [{k: v for k, v in row.items() if k != "embedding"}
+                 for row in rows]
+    print(render_table(printable, title=f"{args.experiment} ({artifact})"))
+    if args.output:
+        from .io import save_rows
+
+        save_rows(rows, args.output,
+                  metadata={"experiment": args.experiment,
+                            "artifact": artifact})
+        print(f"saved {len(rows)} rows to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""Comparing experiment runs: regression tracking for benchmark sweeps.
+
+Given two saved experiment files (``bench.io.save_rows`` output — e.g. a
+baseline run on main and a candidate run on a branch), align their rows on
+key columns and report per-metric deltas, flagging regressions beyond a
+tolerance. Used to keep reproduction results stable as the library evolves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+
+#: Columns that identify a row across runs, tried in this order.
+DEFAULT_KEY_COLUMNS = ("dataset", "filter", "scheme", "model", "backend",
+                       "K", "rho", "seed", "signal", "keep", "platform")
+
+#: Metrics where larger is better (everything else: smaller is better).
+HIGHER_IS_BETTER = ("accuracy", "auc", "mean", "score", "r2", "overall",
+                    "test", "valid", "relative_accuracy",
+                    "cluster_separation")
+
+
+@dataclass
+class MetricDelta:
+    """Change of one metric on one aligned row pair."""
+
+    key: Tuple
+    metric: str
+    baseline: float
+    candidate: float
+
+    @property
+    def delta(self) -> float:
+        return self.candidate - self.baseline
+
+    @property
+    def relative(self) -> float:
+        return self.delta / abs(self.baseline) if self.baseline else np.inf
+
+    def is_regression(self, tolerance: float) -> bool:
+        """Did the candidate get worse by more than ``tolerance`` (relative)?"""
+        higher_better = any(self.metric.endswith(m) or self.metric == m
+                            for m in HIGHER_IS_BETTER)
+        worsening = -self.relative if higher_better else self.relative
+        return worsening > tolerance
+
+
+@dataclass
+class Comparison:
+    """Alignment + deltas between two experiment runs."""
+
+    matched: int
+    baseline_only: List[Tuple]
+    candidate_only: List[Tuple]
+    deltas: List[MetricDelta] = field(default_factory=list)
+
+    def regressions(self, tolerance: float = 0.05) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.is_regression(tolerance)]
+
+    def summary_rows(self) -> List[Dict]:
+        """Long-form rows for :func:`repro.bench.render_table`."""
+        return [
+            {
+                "key": " / ".join(str(v) for v in d.key),
+                "metric": d.metric,
+                "baseline": d.baseline,
+                "candidate": d.candidate,
+                "delta": d.delta,
+            }
+            for d in self.deltas
+        ]
+
+
+def _row_key(row: Mapping, key_columns: Sequence[str]) -> Tuple:
+    return tuple(row[c] for c in key_columns if c in row)
+
+
+def compare_rows(
+    baseline: Sequence[Mapping],
+    candidate: Sequence[Mapping],
+    key_columns: Optional[Sequence[str]] = None,
+    metrics: Optional[Sequence[str]] = None,
+) -> Comparison:
+    """Align two row sets on key columns and diff their numeric metrics.
+
+    Parameters
+    ----------
+    key_columns:
+        Identity columns; defaults to whichever of
+        :data:`DEFAULT_KEY_COLUMNS` appear in the rows.
+    metrics:
+        Numeric columns to diff; defaults to all shared numeric non-key
+        columns.
+    """
+    if not baseline or not candidate:
+        raise ReproError("both runs need at least one row to compare")
+    keys = list(key_columns or
+                [c for c in DEFAULT_KEY_COLUMNS if c in baseline[0]])
+    if not keys:
+        raise ReproError(
+            "no key columns found; pass key_columns= explicitly")
+
+    baseline_index = {_row_key(r, keys): r for r in baseline}
+    candidate_index = {_row_key(r, keys): r for r in candidate}
+    if len(baseline_index) != len(baseline):
+        raise ReproError(f"key columns {keys} do not uniquely identify "
+                         "baseline rows")
+
+    shared = [k for k in baseline_index if k in candidate_index]
+    comparison = Comparison(
+        matched=len(shared),
+        baseline_only=sorted(set(baseline_index) - set(candidate_index)),
+        candidate_only=sorted(set(candidate_index) - set(baseline_index)),
+    )
+
+    if metrics is None:
+        sample = baseline_index[shared[0]] if shared else {}
+        metrics = [
+            name for name, value in sample.items()
+            if name not in keys and isinstance(value, (int, float))
+            and not isinstance(value, bool)
+        ]
+    for key in shared:
+        base_row, cand_row = baseline_index[key], candidate_index[key]
+        for metric in metrics:
+            if metric not in base_row or metric not in cand_row:
+                continue
+            base_value, cand_value = base_row[metric], cand_row[metric]
+            if not _is_number(base_value) or not _is_number(cand_value):
+                continue
+            comparison.deltas.append(
+                MetricDelta(key, metric, float(base_value), float(cand_value)))
+    return comparison
+
+
+def compare_files(baseline_path, candidate_path, **kwargs) -> Comparison:
+    """File-level convenience wrapper over :func:`compare_rows`."""
+    from .io import load_rows
+
+    return compare_rows(load_rows(baseline_path), load_rows(candidate_path),
+                        **kwargs)
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float, np.integer, np.floating)) \
+        and not isinstance(value, bool) and np.isfinite(value)

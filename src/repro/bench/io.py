@@ -1,0 +1,68 @@
+"""Persisting experiment results: numpy-safe JSON round trips.
+
+Benchmark sweeps are minutes long; this module lets the CLI and notebooks
+save experiment rows and reload them for later comparison against the
+paper (EXPERIMENTS.md workflow).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Sequence, Union
+
+import numpy as np
+
+from ..errors import ReproError
+
+PathLike = Union[str, Path]
+
+
+def _jsonify(value):
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": value.tolist(), "dtype": str(value.dtype)}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, Mapping):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise ReproError(f"cannot serialize value of type {type(value).__name__}")
+
+
+def _unjsonify(value):
+    if isinstance(value, dict):
+        if "__ndarray__" in value:
+            return np.asarray(value["__ndarray__"], dtype=value["dtype"])
+        return {k: _unjsonify(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_unjsonify(v) for v in value]
+    return value
+
+
+def save_rows(rows: Sequence[Mapping], path: PathLike,
+              metadata: Mapping | None = None) -> None:
+    """Write experiment rows (plus optional metadata) as JSON."""
+    payload = {
+        "metadata": _jsonify(dict(metadata or {})),
+        "rows": [_jsonify(dict(row)) for row in rows],
+    }
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_rows(path: PathLike) -> List[Dict]:
+    """Read rows written by :func:`save_rows`."""
+    payload = json.loads(Path(path).read_text())
+    if "rows" not in payload:
+        raise ReproError(f"{path} is not a saved experiment file")
+    return [_unjsonify(row) for row in payload["rows"]]
+
+
+def load_metadata(path: PathLike) -> Dict:
+    """Read the metadata block of a saved experiment file."""
+    payload = json.loads(Path(path).read_text())
+    return _unjsonify(payload.get("metadata", {}))

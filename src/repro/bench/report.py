@@ -1,0 +1,86 @@
+"""Paper-style result formatting.
+
+Turns experiment rows into the exact presentation the paper uses: accuracy
+cells like ``86.58±1.96``, ``(OOM)`` markers, time in ms/epoch, and memory
+in GB — so a bench run can be compared against the published tables line
+by line.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+GIBIBYTE = 1024 ** 3
+
+
+def format_score_cell(mean: float, std: float, percent: bool = True) -> str:
+    """``86.58±1.96`` — the Table 5/10 cell format."""
+    factor = 100.0 if percent else 1.0
+    return f"{mean * factor:.2f}±{std * factor:.2f}"
+
+
+def format_memory(nbytes: float) -> str:
+    """GB with one decimal, the Figure 2 / Table 9 unit."""
+    return f"{nbytes / GIBIBYTE:.2f}GB"
+
+
+def format_seconds(seconds: float) -> str:
+    """Adaptive s/ms formatting for stage timings."""
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1e3:.1f}ms"
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as a monospace table (markdown-pipe style)."""
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    columns = list(columns or rows[0].keys())
+    widths = {c: len(str(c)) for c in columns}
+    body: List[List[str]] = []
+    for row in rows:
+        rendered = [_render_value(row.get(c, "")) for c in columns]
+        body.append(rendered)
+        for column, value in zip(columns, rendered):
+            widths[column] = max(widths[column], len(value))
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    header = " | ".join(str(c).ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-+-".join("-" * widths[c] for c in columns))
+    for rendered in body:
+        lines.append(" | ".join(v.ljust(widths[c]) for v, c in zip(rendered, columns)))
+    return "\n".join(lines)
+
+
+def _render_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def pivot(
+    rows: Sequence[Mapping[str, object]],
+    index: str,
+    column: str,
+    value: str,
+) -> List[Dict[str, object]]:
+    """Pivot long-form rows into a wide table (filters × datasets)."""
+    column_values: List[object] = []
+    for row in rows:
+        if row[column] not in column_values:
+            column_values.append(row[column])
+    table: Dict[object, Dict[str, object]] = {}
+    order: List[object] = []
+    for row in rows:
+        key = row[index]
+        if key not in table:
+            table[key] = {index: key}
+            order.append(key)
+        table[key][str(row[column])] = row[value]
+    return [table[key] for key in order]

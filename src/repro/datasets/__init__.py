@@ -1,0 +1,41 @@
+"""Datasets: Table 3 registry, synthetic generation, splits, signals."""
+
+from .registry import (
+    DATASET_NAMES,
+    DATASETS,
+    DatasetSpec,
+    by_homophily,
+    by_scale,
+    get_spec,
+)
+from .io import load_graph, save_graph
+from .signals import (
+    SIGNAL_FUNCTIONS,
+    SIGNAL_NAMES,
+    RegressionTask,
+    make_regression_task,
+)
+from .splits import Split, edge_split, random_split, stratified_split
+from .synthesis import SynthesisConfig, load, synthesize
+
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "DATASET_NAMES",
+    "get_spec",
+    "by_scale",
+    "by_homophily",
+    "SynthesisConfig",
+    "synthesize",
+    "load",
+    "Split",
+    "random_split",
+    "stratified_split",
+    "edge_split",
+    "save_graph",
+    "load_graph",
+    "SIGNAL_FUNCTIONS",
+    "SIGNAL_NAMES",
+    "RegressionTask",
+    "make_regression_task",
+]

@@ -1,0 +1,65 @@
+"""Graph persistence: .npz round trips for generated datasets.
+
+Synthetic benchmark graphs are cheap to regenerate but sweeps want
+byte-identical inputs across processes and sessions; saving the generated
+artifact pins it exactly (and documents which spec/scale/seed produced it).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..errors import DatasetError
+from ..graph.graph import Graph
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_graph(graph: Graph, path: PathLike,
+               metadata: Optional[Dict] = None) -> None:
+    """Write a graph (topology + features + labels + metadata) to .npz."""
+    adjacency = graph.adjacency.tocsr()
+    payload = {
+        "format_version": np.array([_FORMAT_VERSION]),
+        "shape": np.asarray(adjacency.shape),
+        "data": adjacency.data,
+        "indices": adjacency.indices,
+        "indptr": adjacency.indptr,
+        "name": np.frombuffer(graph.name.encode(), dtype=np.uint8),
+        "metadata": np.frombuffer(
+            json.dumps(metadata or {}).encode(), dtype=np.uint8),
+    }
+    if graph.features is not None:
+        payload["features"] = graph.features
+    if graph.labels is not None:
+        payload["labels"] = graph.labels
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_graph(path: PathLike) -> Tuple[Graph, Dict]:
+    """Read a graph written by :func:`save_graph`; returns (graph, metadata)."""
+    with np.load(Path(path)) as archive:
+        if "format_version" not in archive.files:
+            raise DatasetError(f"{path} is not a saved graph file")
+        version = int(archive["format_version"][0])
+        if version != _FORMAT_VERSION:
+            raise DatasetError(
+                f"unsupported graph format version {version} in {path}")
+        shape = tuple(int(v) for v in archive["shape"])
+        adjacency = sp.csr_matrix(
+            (archive["data"], archive["indices"], archive["indptr"]),
+            shape=shape)
+        features = archive["features"] if "features" in archive.files else None
+        labels = archive["labels"] if "labels" in archive.files else None
+        name = archive["name"].tobytes().decode()
+        metadata = json.loads(archive["metadata"].tobytes().decode())
+    graph = Graph(adjacency, features=features, labels=labels,
+                  assume_symmetric=True, name=name)
+    return graph, metadata

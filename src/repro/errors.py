@@ -1,0 +1,50 @@
+"""Exception hierarchy for the spectral GNN benchmark library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch the whole family with one clause. The benchmark harness additionally
+treats :class:`DeviceOOMError` specially: a run that raises it is reported
+as ``(OOM)`` in the result tables, mirroring the presentation in the paper.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graph inputs (bad shapes, dangling edges, ...)."""
+
+
+class FilterError(ReproError):
+    """Raised for invalid spectral-filter configuration or usage."""
+
+
+class AutodiffError(ReproError):
+    """Raised for invalid autodiff-graph operations (shape/grad misuse)."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset specification cannot be satisfied."""
+
+
+class TrainingError(ReproError):
+    """Raised for invalid training-scheme configuration."""
+
+
+class DeviceOOMError(ReproError):
+    """Raised when the simulated accelerator runs out of memory.
+
+    Mirrors a CUDA out-of-memory error: the benchmark harness catches this
+    and records the run as ``(OOM)`` instead of failing the whole sweep.
+    """
+
+    def __init__(self, requested_bytes: int, used_bytes: int, capacity_bytes: int):
+        self.requested_bytes = requested_bytes
+        self.used_bytes = used_bytes
+        self.capacity_bytes = capacity_bytes
+        super().__init__(
+            f"device out of memory: requested {requested_bytes} B with "
+            f"{used_bytes} B in use of {capacity_bytes} B capacity"
+        )

@@ -1,0 +1,149 @@
+"""Filter design: fit a filter's parameters to a target frequency response.
+
+The paper's regression task (Section 6.1.3) learns θ by gradient descent
+through graph propagation. When the *target response* ``g*(λ)`` is known in
+closed form, the same fit has a direct solution: a filter with learnable
+coefficients is linear in θ on the spectral axis, so least squares over the
+basis values gives the optimal θ in one step. This is useful for
+
+- warm-starting variable filters at a designed response (e.g. initialize
+  ChebNetII at a band-pass instead of a low-pass);
+- scoring how well a basis family *can* express a response, independent of
+  optimization (used by :mod:`repro.spectral.guidelines`);
+- building custom fixed filters from a specification.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from ..errors import FilterError
+from .base import SpectralContext, SpectralFilter
+
+ResponseFunction = Callable[[np.ndarray], np.ndarray]
+
+
+def basis_matrix(filter_: SpectralFilter, grid: np.ndarray) -> np.ndarray:
+    """Evaluate a filter's basis functions on a λ grid: shape (len(grid), C).
+
+    Only defined for filters whose basis does not depend on trainable
+    parameters (everything except Favard; OptBasis uses its last replayed
+    or default basis).
+    """
+    ctx = SpectralContext(grid)
+    ones = np.ones_like(ctx.lams)
+    columns = [np.asarray(b, dtype=np.float64) for b in filter_._bases(ctx, ones)]
+    return np.stack(columns, axis=1)
+
+
+def fit_filter_to_response(
+    filter_: SpectralFilter,
+    target: ResponseFunction,
+    grid: Optional[np.ndarray] = None,
+    regularization: float = 1e-8,
+) -> Dict[str, np.ndarray]:
+    """Least-squares θ (and uniform-response γ for banks) matching ``target``.
+
+    Parameters
+    ----------
+    filter_:
+        A variable filter or a bank of them; fixed filters have nothing to
+        fit and raise :class:`FilterError`.
+    target:
+        Vectorized response function over λ ∈ [0, 2].
+    grid:
+        Evaluation points; defaults to a uniform 65-point grid.
+    regularization:
+        Tikhonov damping for ill-conditioned bases (high-order monomials).
+
+    Returns a parameter dict in the shape the filter's ``forward`` /
+    ``response`` expect. Raises :class:`FilterError` for filters whose
+    basis itself is parameterized (Favard) — fit those by gradient descent
+    via :func:`repro.tasks.run_signal_regression` instead.
+    """
+    spec = filter_.parameter_spec()
+    if not spec:
+        raise FilterError(
+            f"filter {filter_.name!r} has no learnable parameters to fit"
+        )
+    if "alpha_raw" in spec:
+        raise FilterError(
+            "Favard's basis depends on its parameters; closed-form fitting "
+            "does not apply — use gradient-based signal regression"
+        )
+    grid = np.linspace(0.0, 2.0, 65) if grid is None else np.asarray(grid, float)
+    values = np.asarray(target(grid), dtype=np.float64)
+    if values.shape != grid.shape:
+        raise FilterError("target function must be vectorized over λ")
+
+    if filter_.category == "bank":
+        return _fit_bank(filter_, grid, values, regularization)
+
+    matrix = basis_matrix(filter_, grid)
+    transform = filter_.coefficient_transform()
+    if transform is not None:
+        matrix = matrix @ transform
+    theta = _ridge_solve(matrix, values, regularization)
+    return {"theta": theta.astype(np.float32)}
+
+
+def _fit_bank(filter_, grid, values, regularization) -> Dict[str, np.ndarray]:
+    """Fit a bank: stack all channels' (γ-scaled) bases into one system."""
+    if getattr(filter_, "channels", None) is None:
+        raise FilterError(
+            f"bank filter {filter_.name!r} does not expose channels; "
+            "fit it by gradient descent instead"
+        )
+    blocks = []
+    layout = []  # (channel_index, has_theta, column_count)
+    for index, channel in enumerate(filter_.channels):
+        matrix = basis_matrix(channel, grid)
+        if channel.category == "fixed":
+            combined = matrix @ channel.fixed_coefficients()
+            blocks.append(combined[:, None])
+            layout.append((index, False, 1))
+        else:
+            transform = channel.coefficient_transform()
+            if transform is not None:
+                matrix = matrix @ transform
+            blocks.append(matrix)
+            layout.append((index, True, matrix.shape[1]))
+    system = np.concatenate(blocks, axis=1)
+    solution = _ridge_solve(system, values, regularization)
+
+    params: Dict[str, np.ndarray] = {}
+    gamma = np.zeros(len(filter_.channels), dtype=np.float32)
+    offset = 0
+    for index, has_theta, count in layout:
+        chunk = solution[offset:offset + count]
+        offset += count
+        if has_theta:
+            # Put the full fit in θ and let γ carry unit weight.
+            params[f"theta_{index}"] = chunk.astype(np.float32)
+            gamma[index] = 1.0
+        else:
+            gamma[index] = float(chunk[0])
+    params["gamma"] = gamma
+    return params
+
+
+def _ridge_solve(matrix: np.ndarray, values: np.ndarray,
+                 regularization: float) -> np.ndarray:
+    gram = matrix.T @ matrix
+    gram += regularization * np.eye(gram.shape[0])
+    return np.linalg.solve(gram, matrix.T @ values)
+
+
+def design_error(
+    filter_: SpectralFilter,
+    params: Dict[str, np.ndarray],
+    target: ResponseFunction,
+    grid: Optional[np.ndarray] = None,
+) -> float:
+    """RMS error between a parameterized response and the target."""
+    grid = np.linspace(0.0, 2.0, 65) if grid is None else np.asarray(grid, float)
+    achieved = filter_.response(grid, params)
+    wanted = np.asarray(target(grid), dtype=np.float64)
+    return float(np.sqrt(np.mean((achieved - wanted) ** 2)))

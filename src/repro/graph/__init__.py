@@ -1,0 +1,48 @@
+"""Graph substrate: CSR topology, normalization, metrics, partitioning."""
+
+from .families import (
+    FAMILIES,
+    barbell_graph,
+    complete_graph,
+    complete_spectrum,
+    cycle_graph,
+    cycle_spectrum,
+    grid_graph,
+    path_graph,
+    star_graph,
+    star_spectrum,
+)
+from .graph import Graph
+from .metrics import (
+    degree_groups,
+    edge_homophily,
+    label_frequency_profile,
+    node_homophily,
+    rayleigh_quotient,
+)
+from .partition import bfs_partition, cut_edges
+from .sparsify import edge_importance, sparsify, spectral_distortion
+
+__all__ = [
+    "Graph",
+    "node_homophily",
+    "edge_homophily",
+    "degree_groups",
+    "rayleigh_quotient",
+    "label_frequency_profile",
+    "bfs_partition",
+    "cut_edges",
+    "sparsify",
+    "edge_importance",
+    "spectral_distortion",
+    "cycle_graph",
+    "cycle_spectrum",
+    "path_graph",
+    "complete_graph",
+    "complete_spectrum",
+    "star_graph",
+    "star_spectrum",
+    "grid_graph",
+    "barbell_graph",
+    "FAMILIES",
+]

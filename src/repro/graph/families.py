@@ -1,0 +1,129 @@
+"""Canonical graph families with analytically known spectra.
+
+Spectral graph theory gives closed forms for the Laplacian spectra of
+cycles, paths, complete graphs, stars, and grids. These constructors are
+the ground truth the test suite checks the whole spectral substrate
+against (normalization, eigendecomposition, filter responses), and they
+make controlled spectral experiments easy — e.g. a cycle concentrates its
+spectrum at cos-spaced frequencies, a star has an extreme degree split for
+degree-bias studies.
+
+Closed forms below are for the *unnormalized* structure; the exposed
+helpers return spectra of the self-loop-free symmetric-normalized
+Laplacian ``I − D^{-1/2} A D^{-1/2}`` where a closed form exists
+(regular graphs: cycle, complete; plus the star's known two-sided form).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GraphError
+from .graph import Graph
+
+
+def cycle_graph(num_nodes: int) -> Graph:
+    """C_n: 2-regular ring; normalized-Laplacian spectrum 1 − cos(2πk/n)."""
+    if num_nodes < 3:
+        raise GraphError(f"a cycle needs >= 3 nodes, got {num_nodes}")
+    nodes = np.arange(num_nodes)
+    edges = np.stack([nodes, (nodes + 1) % num_nodes], axis=1)
+    return Graph.from_edges(num_nodes, edges, name=f"cycle{num_nodes}")
+
+
+def cycle_spectrum(num_nodes: int) -> np.ndarray:
+    """Exact spectrum of C_n's normalized Laplacian (no self-loops)."""
+    k = np.arange(num_nodes)
+    return np.sort(1.0 - np.cos(2.0 * np.pi * k / num_nodes))
+
+
+def path_graph(num_nodes: int) -> Graph:
+    """P_n: a simple path."""
+    if num_nodes < 2:
+        raise GraphError(f"a path needs >= 2 nodes, got {num_nodes}")
+    nodes = np.arange(num_nodes - 1)
+    edges = np.stack([nodes, nodes + 1], axis=1)
+    return Graph.from_edges(num_nodes, edges, name=f"path{num_nodes}")
+
+
+def complete_graph(num_nodes: int) -> Graph:
+    """K_n: everything connected; spectrum {0, n/(n−1) × (n−1 times)}."""
+    if num_nodes < 2:
+        raise GraphError(f"a complete graph needs >= 2 nodes, got {num_nodes}")
+    rows, cols = np.triu_indices(num_nodes, k=1)
+    edges = np.stack([rows, cols], axis=1)
+    return Graph.from_edges(num_nodes, edges, name=f"complete{num_nodes}")
+
+
+def complete_spectrum(num_nodes: int) -> np.ndarray:
+    """Exact normalized-Laplacian spectrum of K_n (no self-loops)."""
+    spectrum = np.full(num_nodes, num_nodes / (num_nodes - 1.0))
+    spectrum[0] = 0.0
+    return spectrum
+
+
+def star_graph(num_leaves: int) -> Graph:
+    """S_k: one hub, k leaves; spectrum {0, 1 × (k−1 times), 2}."""
+    if num_leaves < 1:
+        raise GraphError(f"a star needs >= 1 leaf, got {num_leaves}")
+    leaves = np.arange(1, num_leaves + 1)
+    edges = np.stack([np.zeros_like(leaves), leaves], axis=1)
+    return Graph.from_edges(num_leaves + 1, edges, name=f"star{num_leaves}")
+
+
+def star_spectrum(num_leaves: int) -> np.ndarray:
+    """Exact normalized-Laplacian spectrum of the star (no self-loops)."""
+    spectrum = np.ones(num_leaves + 1)
+    spectrum[0] = 0.0
+    spectrum[-1] = 2.0
+    return spectrum
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """rows×cols 4-neighbour lattice."""
+    if rows < 1 or cols < 1:
+        raise GraphError(f"grid needs positive dimensions, got {rows}x{cols}")
+    if rows * cols < 2:
+        raise GraphError("grid needs at least 2 nodes")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                edges.append((node, node + 1))
+            if r + 1 < rows:
+                edges.append((node, node + cols))
+    return Graph.from_edges(rows * cols, np.asarray(edges),
+                            name=f"grid{rows}x{cols}")
+
+
+def barbell_graph(clique_size: int, bridge_length: int = 1) -> Graph:
+    """Two cliques joined by a path: a small spectral gap by construction.
+
+    The bottleneck makes λ₂ (the algebraic connectivity) tiny — useful for
+    exercising filters on near-disconnected structure.
+    """
+    if clique_size < 3:
+        raise GraphError(f"cliques need >= 3 nodes, got {clique_size}")
+    if bridge_length < 0:
+        raise GraphError("bridge_length must be >= 0")
+    edges = []
+    for offset in (0, clique_size + bridge_length):
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                edges.append((offset + i, offset + j))
+    chain = [clique_size - 1] + [clique_size + i for i in range(bridge_length)] \
+        + [clique_size + bridge_length]
+    for a, b in zip(chain[:-1], chain[1:]):
+        edges.append((a, b))
+    total = 2 * clique_size + bridge_length
+    return Graph.from_edges(total, np.asarray(edges),
+                            name=f"barbell{clique_size}+{bridge_length}")
+
+
+FAMILIES = {
+    "cycle": cycle_graph,
+    "path": path_graph,
+    "complete": complete_graph,
+    "star": star_graph,
+}

@@ -1,0 +1,40 @@
+"""Model architectures: decoupled (main), iterative, and baselines."""
+
+from .baselines import (
+    ANSGTLite,
+    NAGphormerLite,
+    make_chebnet,
+    make_gcn,
+    make_graphsage,
+)
+from .decomposition_models import (
+    LanczosNetLite,
+    SpectralCNNLite,
+    lanczos_decomposition,
+)
+from .decoupled import DecoupledModel, MiniBatchModel
+from .iterative_spectral import IterativeSpectralModel
+from .iterative import (
+    IterativeModel,
+    cheb_propagation,
+    gcn_propagation,
+    sage_propagation,
+)
+
+__all__ = [
+    "DecoupledModel",
+    "MiniBatchModel",
+    "IterativeModel",
+    "IterativeSpectralModel",
+    "gcn_propagation",
+    "sage_propagation",
+    "cheb_propagation",
+    "make_gcn",
+    "make_graphsage",
+    "make_chebnet",
+    "NAGphormerLite",
+    "ANSGTLite",
+    "SpectralCNNLite",
+    "LanczosNetLite",
+    "lanczos_decomposition",
+]

@@ -1,0 +1,164 @@
+"""The decoupled architecture: ``H = φ1( g(L̃) · φ0(X) )``.
+
+This is the paper's primary model (Section 4): all graph propagation is
+collected in one spectral filter g between a pre-transformation φ0 and a
+post-transformation φ1 (plain MLPs). Two concrete modules cover the two
+learning schemes:
+
+- :class:`DecoupledModel` — full-batch: φ0, filter, and φ1 run in one
+  autodiff graph over the whole node set; gradients flow through the
+  sparse propagations.
+- :class:`MiniBatchModel` — mini-batch: φ0 is empty (Table 4's MB setting),
+  the filter's channels were precomputed on CPU, and the module consumes
+  row batches of those channels (combine with θ/γ, then φ1).
+
+Both materialize the filter's :meth:`parameter_spec` as real Parameters so
+optimizers can give θ/γ their own learning rate and weight decay.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..autodiff.tensor import Tensor
+from ..errors import TrainingError
+from ..filters.base import PropagationContext, SpectralFilter
+from ..graph.graph import Graph
+from ..nn.linear import MLP
+from ..nn.module import Module, Parameter
+
+
+class _FilterParameterMixin:
+    """Materializes a filter's parameter spec as module Parameters."""
+
+    def _register_filter_params(self, filter_: SpectralFilter) -> None:
+        self._filter_param_names: List[str] = []
+        for name, spec in filter_.parameter_spec().items():
+            attr = f"filter_{name}"
+            setattr(self, attr, Parameter(spec.init.copy()))
+            self._filter_param_names.append(name)
+
+    def filter_params(self) -> Optional[Dict[str, Tensor]]:
+        """Filter-parameter dict in the shape the filter expects."""
+        if not self._filter_param_names:
+            return None
+        return {
+            name: getattr(self, f"filter_{name}")
+            for name in self._filter_param_names
+        }
+
+    def filter_parameters(self) -> List[Parameter]:
+        """The θ/γ parameters, for the separate optimizer group."""
+        return [getattr(self, f"filter_{name}") for name in self._filter_param_names]
+
+    def transform_parameters(self) -> List[Parameter]:
+        """Everything that is not a filter parameter (φ0/φ1 weights)."""
+        filter_ids = {id(p) for p in self.filter_parameters()}
+        return [p for p in self.parameters() if id(p) not in filter_ids]
+
+    def numpy_filter_params(self) -> Optional[Dict[str, np.ndarray]]:
+        """Learned filter parameters as arrays (for response analysis)."""
+        params = self.filter_params()
+        if params is None:
+            return None
+        return {name: tensor.data.copy() for name, tensor in params.items()}
+
+
+class DecoupledModel(Module, _FilterParameterMixin):
+    """Full-batch decoupled spectral GNN.
+
+    Parameters
+    ----------
+    filter_:
+        Any :class:`SpectralFilter`; its trainable parameters (if any) are
+        materialized on this module.
+    in_features, out_features:
+        Attribute width F_i and class count F_o.
+    hidden:
+        Width of φ0's output / φ1's hidden layers.
+    phi0_layers, phi1_layers:
+        MLP depths; Table 4's full-batch universal setting is 1 and 1.
+    rho:
+        Graph-normalization coefficient of ``Ã``.
+    backend:
+        Sparse propagation backend (``csr`` or ``coo_gather``).
+    """
+
+    def __init__(
+        self,
+        filter_: SpectralFilter,
+        in_features: int,
+        out_features: int,
+        hidden: int = 64,
+        phi0_layers: int = 1,
+        phi1_layers: int = 1,
+        dropout: float = 0.5,
+        rho: float = 0.5,
+        backend: str = "csr",
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.filter = filter_
+        self.rho = float(rho)
+        self.backend = backend
+        width = hidden if phi0_layers > 0 else in_features
+        self.phi0 = MLP(in_features, width, hidden=hidden, num_layers=phi0_layers,
+                        dropout=dropout, rng=rng)
+        self.phi1 = MLP(filter_.output_width(width), out_features, hidden=hidden,
+                        num_layers=phi1_layers, dropout=dropout, rng=rng)
+        self._register_filter_params(filter_)
+        self._filter_width = width
+
+    def forward(self, graph: Graph, x: Optional[Tensor] = None) -> Tensor:
+        """Logits for every node of ``graph`` (full-batch)."""
+        if x is None:
+            if graph.features is None:
+                raise TrainingError("graph has no features and none were passed")
+            x = Tensor(graph.features)
+        hidden = self.phi0(x)
+        if hidden.shape[1] != self._filter_width:
+            raise TrainingError(
+                f"filter expects width {self._filter_width}, got {hidden.shape[1]}"
+            )
+        ctx = PropagationContext.for_graph(graph, self.rho, self.backend)
+        filtered = self.filter.forward(ctx, hidden, self.filter_params())
+        return self.phi1(filtered)
+
+
+class MiniBatchModel(Module, _FilterParameterMixin):
+    """Mini-batch decoupled spectral GNN over precomputed channels.
+
+    Consumes ``(B, C, F)`` row batches of the filter's precomputed channel
+    tensor; φ0 is structurally absent (the filter already saw raw X during
+    precompute), matching the paper's mini-batch configuration.
+    """
+
+    def __init__(
+        self,
+        filter_: SpectralFilter,
+        in_features: int,
+        out_features: int,
+        hidden: int = 64,
+        phi1_layers: int = 2,
+        dropout: float = 0.5,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.filter = filter_
+        self.phi1 = MLP(filter_.output_width(in_features), out_features,
+                        hidden=hidden, num_layers=phi1_layers,
+                        dropout=dropout, rng=rng)
+        self._register_filter_params(filter_)
+
+    def forward(self, batch: Tensor) -> Tensor:
+        """Logits for one row batch of precomputed channels."""
+        if batch.ndim != 3:
+            raise TrainingError(
+                f"mini-batch input must be (B, C, F), got {batch.shape}"
+            )
+        combined = self.filter.batch_combine(batch, self.filter_params())
+        return self.phi1(combined)

@@ -1,0 +1,155 @@
+"""The iterative spectral architecture: per-layer filters with transforms.
+
+Table 1 tags each model I (iterative) or D (decoupled). The decoupled form
+runs all K propagations in one filter between φ0 and φ1; the iterative
+form interleaves a lower-order filter with a weight transform + ReLU per
+layer — GCN, GIN, ChebNet, ARMA are of this shape. Appendix A.1 argues the
+two have the same spectral expressiveness (the layer responses compose:
+``g = g^(J) ∗ ... ∗ g^(1)``), at different cost profiles.
+
+:class:`IterativeSpectralModel` makes that architecture available for *any*
+registry filter: each layer owns an independent copy of the filter's
+parameters, applies ``g(L̃)`` to its input, then a Linear + ReLU. The
+composed frequency response is exposed for analysis, so the architecture
+comparison (``bench_ablation_architecture``) can check response composition
+against measured behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..autodiff import functional as F
+from ..autodiff.tensor import Tensor
+from ..errors import TrainingError
+from ..filters.base import PropagationContext, SpectralFilter
+from ..graph.graph import Graph
+from ..nn.linear import Linear
+from ..nn.module import Module, ModuleList, Parameter
+
+
+class _FilterLayer(Module):
+    """One iterative layer: filter application + affine transform."""
+
+    def __init__(self, filter_: SpectralFilter, in_features: int,
+                 out_features: int, rng: np.random.Generator):
+        super().__init__()
+        self.filter = filter_
+        self.linear = Linear(filter_.output_width(in_features), out_features,
+                             rng=rng)
+        self._filter_param_names: List[str] = []
+        for name, spec in filter_.parameter_spec().items():
+            attr = f"filter_{name}"
+            setattr(self, attr, Parameter(spec.init.copy()))
+            self._filter_param_names.append(name)
+
+    def filter_params(self) -> Optional[Dict[str, Tensor]]:
+        if not self._filter_param_names:
+            return None
+        return {name: getattr(self, f"filter_{name}")
+                for name in self._filter_param_names}
+
+    def forward(self, ctx: PropagationContext, x: Tensor) -> Tensor:
+        filtered = self.filter.forward(ctx, x, self.filter_params())
+        return self.linear(filtered)
+
+
+class IterativeSpectralModel(Module):
+    """J stacked (filter → Linear → ReLU) layers over one filter family.
+
+    Parameters
+    ----------
+    filter_factory:
+        Zero-argument callable returning a fresh filter instance per layer
+        (layers must not share filter hyper-structure state).
+    num_layers:
+        J; the receptive field is J × K hops.
+    """
+
+    def __init__(
+        self,
+        filter_factory,
+        in_features: int,
+        out_features: int,
+        hidden: int = 64,
+        num_layers: int = 2,
+        dropout: float = 0.5,
+        rho: float = 0.5,
+        backend: str = "csr",
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if num_layers < 1:
+            raise TrainingError(f"num_layers must be >= 1, got {num_layers}")
+        rng = rng or np.random.default_rng()
+        self.rho = float(rho)
+        self.backend = backend
+        self.dropout = float(dropout)
+        self._rng = rng
+        self.layers = ModuleList()
+        width = in_features
+        for index in range(num_layers):
+            out = out_features if index == num_layers - 1 else hidden
+            self.layers.append(_FilterLayer(filter_factory(), width, out, rng))
+            width = out
+
+    def forward(self, graph: Graph, x: Optional[Tensor] = None) -> Tensor:
+        if x is None:
+            if graph.features is None:
+                raise TrainingError("graph has no features and none were passed")
+            x = Tensor(graph.features)
+        ctx = PropagationContext.for_graph(graph, self.rho, self.backend)
+        h = x
+        for index, layer in enumerate(self.layers):
+            h = F.dropout(h, self.dropout, training=self.training, rng=self._rng)
+            h = layer(ctx, h)
+            if index < len(self.layers) - 1:
+                h = h.relu()
+        return h
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+    def composed_response(self, lams: np.ndarray) -> np.ndarray:
+        """Product of the layers' responses: the model's overall filter.
+
+        Exact for the linear part of the network (Appendix A.1's
+        ``g = Π g^(j)``); nonlinearities between layers make it an
+        approximation of the trained model, which is precisely the paper's
+        point about iterative models being *as expressive as* decoupled
+        ones in the spectral sense.
+        """
+        response = np.ones_like(np.asarray(lams, dtype=np.float64))
+        for layer in self.layers:
+            params = layer.filter_params()
+            numpy_params = (
+                {k: v.data for k, v in params.items()} if params else None
+            )
+            response = response * layer.filter.response(lams, numpy_params)
+        return response
+
+    def filter_parameters(self) -> List[Parameter]:
+        """Per-layer filter parameters (for the θ optimizer group)."""
+        params: List[Parameter] = []
+        for layer in self.layers:
+            layer_params = layer.filter_params()
+            if layer_params:
+                params.extend(layer_params.values())
+        return params
+
+    def transform_parameters(self) -> List[Parameter]:
+        """All non-filter parameters."""
+        filter_ids = {id(p) for p in self.filter_parameters()}
+        return [p for p in self.parameters() if id(p) not in filter_ids]
+
+    def numpy_filter_params(self) -> Optional[Dict[str, np.ndarray]]:
+        """Per-layer learned filter parameters, namespaced by layer index."""
+        out: Dict[str, np.ndarray] = {}
+        for index, layer in enumerate(self.layers):
+            params = layer.filter_params()
+            if params:
+                for name, tensor in params.items():
+                    out[f"layer{index}.{name}"] = tensor.data.copy()
+        return out or None

@@ -1,0 +1,15 @@
+"""Neural-network modules built on :mod:`repro.autodiff`."""
+
+from .attention import SelfAttention, TransformerBlock
+from .linear import MLP, Linear
+from .module import Module, ModuleList, Parameter
+
+__all__ = [
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Linear",
+    "MLP",
+    "SelfAttention",
+    "TransformerBlock",
+]

@@ -1,0 +1,17 @@
+"""Execution-environment simulation: device memory, profiling, hardware."""
+
+from .device import GIBIBYTE, DeviceModel, nbytes_of
+from .hardware import PROFILES, S1, S2, HardwareProfile
+from .profiler import StageProfiler, StageStats
+
+__all__ = [
+    "DeviceModel",
+    "nbytes_of",
+    "GIBIBYTE",
+    "StageProfiler",
+    "StageStats",
+    "HardwareProfile",
+    "S1",
+    "S2",
+    "PROFILES",
+]

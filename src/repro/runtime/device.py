@@ -1,0 +1,132 @@
+"""Simulated accelerator memory: byte-exact accounting without a GPU.
+
+The paper's scalability results hinge on *where bytes live*: full-batch
+training keeps the graph and all n-row representations in GPU memory and
+OOMs on million-scale graphs, while mini-batch training keeps only batch
+rows and weights on the device. We reproduce that with an accounting model:
+
+- **Persistent** allocations are tensors explicitly moved to the device
+  (parameters, and under full-batch the graph + feature matrices).
+- **Transient** allocations are every array the autodiff engine
+  materializes inside one training/inference step — a faithful stand-in for
+  activation memory, since reverse mode retains activations until backward.
+
+Peak device usage is ``persistent + max(transient within any step)``; a
+configurable capacity raises :class:`~repro.errors.DeviceOOMError` exactly
+where a real 24 GB card would, so benchmark tables can report ``(OOM)``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..autodiff.tensor import set_allocation_hook
+from ..errors import DeviceOOMError
+
+GIBIBYTE = 1024 ** 3
+
+
+def nbytes_of(obj: Union[int, np.ndarray, sp.spmatrix]) -> int:
+    """Byte size of an int, numpy array, or scipy sparse matrix."""
+    if isinstance(obj, (int, np.integer)):
+        return int(obj)
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if sp.issparse(obj):
+        csr = obj.tocsr()
+        return int(csr.data.nbytes + csr.indices.nbytes + csr.indptr.nbytes)
+    raise TypeError(f"cannot size object of type {type(obj).__name__}")
+
+
+class DeviceModel:
+    """Accounting model of an accelerator with bounded memory.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Device capacity; ``None`` means unbounded (profiling only).
+    name:
+        Label used in reports (e.g. ``"A30-24GB"``).
+    """
+
+    def __init__(self, capacity_bytes: Optional[int] = None, name: str = "device"):
+        self.capacity_bytes = capacity_bytes
+        self.name = name
+        self.persistent_bytes = 0
+        self.peak_bytes = 0
+        self._transient_bytes = 0
+        self._in_step = False
+
+    # ------------------------------------------------------------------
+    # persistent residency
+    # ------------------------------------------------------------------
+    def to_device(self, obj: Union[int, np.ndarray, sp.spmatrix]) -> int:
+        """Register a persistent allocation; returns its byte size."""
+        size = nbytes_of(obj)
+        self._check(size)
+        self.persistent_bytes += size
+        self.peak_bytes = max(self.peak_bytes, self.persistent_bytes)
+        return size
+
+    def free(self, obj: Union[int, np.ndarray, sp.spmatrix]) -> None:
+        """Release a persistent allocation registered via :meth:`to_device`."""
+        self.persistent_bytes = max(0, self.persistent_bytes - nbytes_of(obj))
+
+    # ------------------------------------------------------------------
+    # per-step transient accounting
+    # ------------------------------------------------------------------
+    @contextmanager
+    def step(self) -> Iterator[None]:
+        """Meter every autodiff allocation inside the block as activations.
+
+        Steps do not nest; the allocation hook is removed on exit even when
+        the step raises (including on simulated OOM).
+        """
+        if self._in_step:
+            yield
+            return
+        self._in_step = True
+        self._transient_bytes = 0
+        set_allocation_hook(self._on_alloc)
+        try:
+            yield
+        finally:
+            set_allocation_hook(None)
+            self._in_step = False
+            self._transient_bytes = 0
+
+    def _on_alloc(self, nbytes: int) -> None:
+        self._check(nbytes)
+        self._transient_bytes += nbytes
+        total = self.persistent_bytes + self._transient_bytes
+        if total > self.peak_bytes:
+            self.peak_bytes = total
+
+    def _check(self, nbytes: int) -> None:
+        if self.capacity_bytes is None:
+            return
+        used = self.persistent_bytes + self._transient_bytes
+        if used + nbytes > self.capacity_bytes:
+            raise DeviceOOMError(nbytes, used, self.capacity_bytes)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Forget all residency and peak statistics."""
+        self.persistent_bytes = 0
+        self.peak_bytes = 0
+        self._transient_bytes = 0
+
+    @property
+    def peak_gib(self) -> float:
+        """Peak usage in GiB, the unit of the paper's memory columns."""
+        return self.peak_bytes / GIBIBYTE
+
+    def __repr__(self) -> str:
+        cap = "∞" if self.capacity_bytes is None else f"{self.capacity_bytes / GIBIBYTE:.0f}GiB"
+        return f"DeviceModel(name={self.name!r}, capacity={cap}, peak={self.peak_gib:.3f}GiB)"

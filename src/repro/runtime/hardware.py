@@ -1,0 +1,60 @@
+"""Hardware profiles for the cross-platform study (Figure 5).
+
+The paper validates its efficiency conclusions on a second server (S2) with
+slower CPUs and a faster GPU, showing that the *bottleneck class* — graph
+propagation vs weight transformation — determines which platform wins.
+Since all our measurements run on one CPU, a :class:`HardwareProfile`
+re-scales measured stage times by op class: propagation-dominated stages
+scale with CPU speed, transformation-dominated stages with accelerator
+speed. This reproduces the figure's qualitative flip (MB fixed filters run
+faster on S2, FB variable filters slower) from a single set of
+measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """Relative throughput of a platform, normalized to the reference S1.
+
+    ``propagation_speed`` multiplies sparse-graph-op throughput (CPU-bound
+    under mini-batch precompute, memory-bandwidth-bound on device under
+    full-batch); ``transform_speed`` multiplies dense weight-transform
+    throughput (GPU-bound).
+    """
+
+    name: str
+    propagation_speed: float = 1.0
+    transform_speed: float = 1.0
+
+    def scale_stage_seconds(self, summary: Mapping[str, Mapping]) -> Dict[str, float]:
+        """Re-scale a :meth:`StageProfiler.summary` to this platform.
+
+        Returns projected seconds per stage: measured time divided by the
+        throughput of the stage's op class.
+        """
+        scaled: Dict[str, float] = {}
+        for stage, stats in summary.items():
+            if stats["op_class"] == "propagation":
+                speed = self.propagation_speed
+            else:
+                speed = self.transform_speed
+            scaled[stage] = stats["seconds"] / speed
+        return scaled
+
+
+#: The paper's primary server: 2.4 GHz Xeon CPUs + NVIDIA A30.
+S1 = HardwareProfile(name="S1 (Xeon 2.4GHz + A30)")
+
+#: The validation server: slower 2.2 GHz CPUs, faster RTX A5000 GPU.
+S2 = HardwareProfile(
+    name="S2 (Xeon 2.2GHz + A5000)",
+    propagation_speed=2.2 / 2.4,
+    transform_speed=1.5,
+)
+
+PROFILES: Dict[str, HardwareProfile] = {"S1": S1, "S2": S2}

@@ -1,0 +1,107 @@
+"""Stage-level profiling: wall time and memory per learning stage.
+
+The paper reports efficiency per *stage* — precomputation, training (per
+epoch), inference — with RAM and device memory tracked separately
+(Figure 2, Tables 9 & 11). :class:`StageProfiler` is the collector behind
+those tables: trainers open named stages and record byte counts for what
+they hold in host RAM; device peaks come from the paired
+:class:`~repro.runtime.device.DeviceModel`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator
+
+
+@dataclass
+class StageStats:
+    """Accumulated measurements for one named stage."""
+
+    seconds: float = 0.0
+    calls: int = 0
+    ram_bytes: int = 0
+    device_bytes: int = 0
+    #: Operation class for hardware re-scaling: "propagation" | "transform"
+    op_class: str = "transform"
+
+    @property
+    def seconds_per_call(self) -> float:
+        return self.seconds / self.calls if self.calls else 0.0
+
+
+class StageProfiler:
+    """Collects per-stage wall time and memory for one benchmark run."""
+
+    def __init__(self):
+        self.stages: Dict[str, StageStats] = {}
+
+    def _stage(self, name: str) -> StageStats:
+        stage = self.stages.get(name)
+        if stage is None:
+            stage = StageStats()
+            self.stages[name] = stage
+        return stage
+
+    @contextmanager
+    def stage(self, name: str, op_class: str = "transform") -> Iterator[StageStats]:
+        """Time a stage; repeated entries accumulate (per-epoch training)."""
+        stats = self._stage(name)
+        stats.op_class = op_class
+        start = time.perf_counter()
+        try:
+            yield stats
+        finally:
+            stats.seconds += time.perf_counter() - start
+            stats.calls += 1
+
+    def record_ram(self, name: str, nbytes: int) -> None:
+        """Record peak host-RAM bytes attributed to a stage."""
+        stats = self._stage(name)
+        stats.ram_bytes = max(stats.ram_bytes, int(nbytes))
+
+    def record_device(self, name: str, nbytes: int) -> None:
+        """Record peak device bytes attributed to a stage."""
+        stats = self._stage(name)
+        stats.device_bytes = max(stats.device_bytes, int(nbytes))
+
+    # ------------------------------------------------------------------
+    # summaries
+    # ------------------------------------------------------------------
+    def seconds(self, name: str) -> float:
+        return self.stages[name].seconds if name in self.stages else 0.0
+
+    def total_seconds(self) -> float:
+        return sum(stage.seconds for stage in self.stages.values())
+
+    def peak_ram_bytes(self) -> int:
+        return max((stage.ram_bytes for stage in self.stages.values()), default=0)
+
+    def peak_device_bytes(self) -> int:
+        return max((stage.device_bytes for stage in self.stages.values()), default=0)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Plain-dict view used by the report formatter."""
+        return {
+            name: {
+                "seconds": stage.seconds,
+                "seconds_per_call": stage.seconds_per_call,
+                "calls": stage.calls,
+                "ram_bytes": stage.ram_bytes,
+                "device_bytes": stage.device_bytes,
+                "op_class": stage.op_class,
+            }
+            for name, stage in self.stages.items()
+        }
+
+    def merge(self, other: "StageProfiler") -> None:
+        """Fold another profiler's stages into this one (multi-seed runs)."""
+        for name, stage in other.stages.items():
+            mine = self._stage(name)
+            mine.seconds += stage.seconds
+            mine.calls += stage.calls
+            mine.ram_bytes = max(mine.ram_bytes, stage.ram_bytes)
+            mine.device_bytes = max(mine.device_bytes, stage.device_bytes)
+            mine.op_class = stage.op_class

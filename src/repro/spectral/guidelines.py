@@ -1,0 +1,126 @@
+"""Executable filter-selection guidelines (the paper's C5, operationalized).
+
+The benchmark's concluding advice: *balance effectiveness and efficiency by
+examining the graph first — prefer simple fixed filters whose frequency
+response matches the graph's signal, and reach for variable/bank designs
+only when no fixed response fits.* This module turns that prose into a
+ranked recommendation:
+
+1. Characterize the task signal: project the (training) labels onto the
+   Laplacian eigenbasis and keep the spectral energy profile.
+2. Score every registry filter by the alignment between its attainable
+   response and that profile — fixed filters at their response, variable
+   filters at their least-squares-fitted response (they can adapt).
+3. Fold in the taxonomy's efficiency model: prefer cheaper categories at
+   equal alignment (the paper's "simple but suitable" rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..filters.design import fit_filter_to_response
+from ..filters.registry import FILTER_NAMES, REGISTRY, make_filter
+from ..graph.graph import Graph
+from .decomposition import laplacian_eigendecomposition
+
+#: Relative efficiency weight per category, from the Table 1 complexity
+#: model: fixed filters combine in O(nF); variable keep K+1 channels; banks
+#: multiply by Q.
+CATEGORY_COST = {"fixed": 1.0, "variable": 2.0, "bank": 3.0}
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One ranked entry of the guideline output."""
+
+    filter_name: str
+    display: str
+    category: str
+    alignment: float       # spectral match with the task signal in [0, 1]
+    cost: float            # taxonomy cost class (1 = cheapest)
+    score: float           # alignment discounted by cost
+
+    def rationale(self) -> str:
+        return (
+            f"{self.display} ({self.category}): alignment "
+            f"{self.alignment:.2f} at cost class {self.cost:.0f}"
+        )
+
+
+def label_spectral_energy(graph: Graph, labels: Optional[np.ndarray] = None,
+                          rho: float = 0.5) -> np.ndarray:
+    """Per-eigenvalue energy of the (centred, one-hot) label signal."""
+    if labels is None:
+        labels = graph.labels
+    labels = np.asarray(labels)
+    num_classes = int(labels.max()) + 1
+    one_hot = np.zeros((graph.num_nodes, num_classes))
+    one_hot[np.arange(graph.num_nodes), labels] = 1.0
+    one_hot -= one_hot.mean(axis=0, keepdims=True)
+    _, eigenvectors = laplacian_eigendecomposition(graph, rho)
+    coefficients = eigenvectors.T @ one_hot
+    return (coefficients ** 2).sum(axis=1)
+
+
+def _alignment(response: np.ndarray, energy: np.ndarray) -> float:
+    magnitude = np.abs(response)
+    denominator = float(np.linalg.norm(magnitude) * np.linalg.norm(energy))
+    if denominator <= 0:
+        return 0.0
+    return float((magnitude * energy).sum() / denominator)
+
+
+def recommend_filters(
+    graph: Graph,
+    labels: Optional[np.ndarray] = None,
+    candidates: Optional[Sequence[str]] = None,
+    num_hops: int = 10,
+    efficiency_weight: float = 0.15,
+    rho: float = 0.5,
+) -> List[Recommendation]:
+    """Rank filters for a graph by spectral match, discounted by cost.
+
+    Parameters
+    ----------
+    efficiency_weight:
+        How strongly the taxonomy cost discounts alignment
+        (``score = alignment − weight·(cost − 1)/2``); 0 ranks purely by
+        spectral match.
+
+    Returns recommendations sorted best-first. Requires a graph small
+    enough for dense eigendecomposition (the guideline is a design-time
+    tool; apply the chosen filter at any scale).
+    """
+    eigenvalues, _ = laplacian_eigendecomposition(graph, rho)
+    energy = label_spectral_energy(graph, labels, rho)
+    names = list(candidates) if candidates is not None else list(FILTER_NAMES)
+
+    recommendations = []
+    for name in names:
+        entry = REGISTRY[name]
+        filter_ = make_filter(name, num_hops=num_hops, num_features=1)
+        if entry.category == "fixed":
+            response = filter_.response(eigenvalues)
+        else:
+            # Variable/bank filters adapt: score the best response their
+            # basis can reach for this energy profile.
+            target = energy / max(energy.max(), 1e-12)
+            try:
+                params = fit_filter_to_response(
+                    filter_, lambda lam: np.interp(lam, eigenvalues, target),
+                    grid=eigenvalues)
+                response = filter_.response(eigenvalues, params)
+            except Exception:
+                response = filter_.response(eigenvalues)
+        alignment = _alignment(response, energy)
+        cost = CATEGORY_COST[entry.category]
+        score = alignment - efficiency_weight * (cost - 1.0) / 2.0
+        recommendations.append(
+            Recommendation(name, entry.display, entry.category,
+                           alignment, cost, score))
+    recommendations.sort(key=lambda r: -r.score)
+    return recommendations

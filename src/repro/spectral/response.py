@@ -1,0 +1,82 @@
+"""Frequency-response utilities connecting filters to graph spectra.
+
+A filter's effectiveness, the paper argues (RQ6/C3), is determined by how
+its frequency response aligns with where the task's signal lives on the
+spectrum. These helpers evaluate responses on grids or exact spectra and
+quantify that alignment.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..filters.base import SpectralFilter
+from ..graph.graph import Graph
+from .decomposition import laplacian_eigendecomposition
+
+
+def response_on_grid(
+    filter_: SpectralFilter,
+    num_points: int = 101,
+    params: Optional[Dict[str, np.ndarray]] = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate ``g(λ)`` on a uniform grid over the spectrum [0, 2]."""
+    lams = np.linspace(0.0, 2.0, num_points)
+    return lams, filter_.response(lams, params)
+
+
+def response_on_spectrum(
+    filter_: SpectralFilter,
+    graph: Graph,
+    params: Optional[Dict[str, np.ndarray]] = None,
+    rho: float = 0.5,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate ``g`` at the graph's exact eigenvalues (small graphs)."""
+    eigenvalues, _ = laplacian_eigendecomposition(graph, rho)
+    return eigenvalues, filter_.response(eigenvalues, params)
+
+
+def low_frequency_mass(
+    filter_: SpectralFilter,
+    params: Optional[Dict[str, np.ndarray]] = None,
+    cutoff: float = 1.0,
+) -> float:
+    """Fraction of squared response mass below ``cutoff`` on [0, 2].
+
+    1.0 = pure low-pass, 0.0 = pure high-pass; the scalar the guideline
+    helper compares against a dataset's homophily to pick filters (C5).
+    """
+    lams, response = response_on_grid(filter_, 201, params)
+    energy = response ** 2
+    total = energy.sum()
+    if total <= 0:
+        return 0.5
+    return float(energy[lams <= cutoff].sum() / total)
+
+
+def response_alignment(
+    filter_: SpectralFilter,
+    graph: Graph,
+    signal: np.ndarray,
+    params: Optional[Dict[str, np.ndarray]] = None,
+    rho: float = 0.5,
+) -> float:
+    """Cosine alignment between |g(λ)| and a signal's spectral energy.
+
+    Decomposes the signal in the Laplacian eigenbasis, takes per-frequency
+    energies, and measures how well the filter's magnitude response covers
+    them. Values near 1 indicate the filter passes exactly the frequencies
+    the signal occupies.
+    """
+    eigenvalues, eigenvectors = laplacian_eigendecomposition(graph, rho)
+    signal = np.asarray(signal, dtype=np.float64)
+    if signal.ndim == 1:
+        signal = signal[:, None]
+    coefficients = eigenvectors.T @ signal
+    energy = (coefficients ** 2).sum(axis=1)
+    magnitude = np.abs(filter_.response(eigenvalues, params))
+    num = float((magnitude * energy).sum())
+    den = float(np.linalg.norm(magnitude) * np.linalg.norm(energy))
+    return num / den if den > 0 else 0.0

@@ -1,0 +1,29 @@
+"""Benchmark tasks: node classification, link prediction, signal regression."""
+
+from .link_prediction import (
+    LinkPredictionResult,
+    LinkPredictor,
+    run_link_prediction,
+)
+from .node_classification import (
+    SeedSummary,
+    build_task_filter,
+    run_node_classification,
+    run_seeds,
+)
+from .signal_regression import RegressionResult, run_signal_regression
+from .tuning import TuningOutcome, tune_and_run
+
+__all__ = [
+    "run_node_classification",
+    "run_seeds",
+    "build_task_filter",
+    "SeedSummary",
+    "run_link_prediction",
+    "LinkPredictor",
+    "LinkPredictionResult",
+    "run_signal_regression",
+    "RegressionResult",
+    "tune_and_run",
+    "TuningOutcome",
+]

@@ -1,0 +1,47 @@
+"""Training: schemes (FB/MB/GP), loop machinery, metrics, hyper search."""
+
+from .checkpoint import load_checkpoint, save_checkpoint
+from .hyper import (
+    FILTER_SEARCH_RANGES,
+    INDIVIDUAL_RANGES,
+    UNIVERSAL_DEFAULTS,
+    UNIVERSAL_GRID,
+    SearchSpace,
+    random_search,
+    sample_configuration,
+)
+from .loop import EarlyStopper, RunResult, TrainConfig, build_optimizer, make_device
+from .metrics import METRICS, accuracy, evaluate, macro_f1, r2_score, roc_auc
+from .schemes import (
+    SCHEMES,
+    FullBatchTrainer,
+    GraphPartitionTrainer,
+    MiniBatchTrainer,
+)
+
+__all__ = [
+    "TrainConfig",
+    "RunResult",
+    "EarlyStopper",
+    "build_optimizer",
+    "make_device",
+    "FullBatchTrainer",
+    "MiniBatchTrainer",
+    "GraphPartitionTrainer",
+    "SCHEMES",
+    "accuracy",
+    "roc_auc",
+    "r2_score",
+    "macro_f1",
+    "evaluate",
+    "METRICS",
+    "SearchSpace",
+    "random_search",
+    "sample_configuration",
+    "UNIVERSAL_GRID",
+    "UNIVERSAL_DEFAULTS",
+    "INDIVIDUAL_RANGES",
+    "FILTER_SEARCH_RANGES",
+    "save_checkpoint",
+    "load_checkpoint",
+]

@@ -1,0 +1,62 @@
+"""Model checkpointing: portable .npz snapshots of trained parameters.
+
+Benchmark sweeps train hundreds of models; checkpoints let the analysis
+stages (response plots, t-SNE, degree bias) reuse trained parameters
+without retraining, and make trained filters deployable artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from ..errors import TrainingError
+from ..nn.module import Module
+
+PathLike = Union[str, Path]
+
+_METADATA_KEY = "__checkpoint_metadata__"
+
+
+def save_checkpoint(model: Module, path: PathLike,
+                    metadata: Optional[Dict] = None) -> None:
+    """Write a model's parameters (and optional JSON metadata) to .npz."""
+    state = model.state_dict()
+    if _METADATA_KEY in state:
+        raise TrainingError(f"parameter name {_METADATA_KEY!r} is reserved")
+    payload = dict(state)
+    payload[_METADATA_KEY] = np.frombuffer(
+        json.dumps(metadata or {}).encode(), dtype=np.uint8)
+    np.savez(Path(path), **payload)
+
+
+def load_checkpoint(model: Module, path: PathLike) -> Dict:
+    """Restore parameters saved by :func:`save_checkpoint`; returns metadata.
+
+    The model must have the same architecture (same parameter names and
+    shapes) as the one that was saved.
+    """
+    with np.load(Path(path)) as archive:
+        stored = {name: archive[name] for name in archive.files}
+    raw_metadata = stored.pop(_METADATA_KEY, None)
+    own = dict(model.named_parameters())
+    missing = set(own) - set(stored)
+    unexpected = set(stored) - set(own)
+    if missing or unexpected:
+        raise TrainingError(
+            f"checkpoint mismatch: missing {sorted(missing)}, "
+            f"unexpected {sorted(unexpected)}"
+        )
+    for name, value in stored.items():
+        if own[name].data.shape != value.shape:
+            raise TrainingError(
+                f"shape mismatch for {name}: model {own[name].data.shape} "
+                f"vs checkpoint {value.shape}"
+            )
+    model.load_state_dict(stored)
+    if raw_metadata is None:
+        return {}
+    return json.loads(raw_metadata.tobytes().decode())

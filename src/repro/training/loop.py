@@ -1,0 +1,150 @@
+"""Shared training-loop machinery: config, results, early stopping.
+
+The concrete learning schemes (:mod:`repro.training.schemes`) differ in
+*where data lives* — that is the paper's whole point — but share the same
+epoch budget, optimizer construction, early stopping, and result record,
+which live here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..autodiff.optim import Adam
+from ..nn.module import Module
+from ..runtime.device import DeviceModel
+from ..runtime.profiler import StageProfiler
+
+
+@dataclass
+class TrainConfig:
+    """Hyperparameters of one training run (Table 4's knobs).
+
+    The paper trains 500 epochs on GPUs; the default here is shorter so
+    CPU-only sweeps finish, and every bench records the epoch count used.
+    """
+
+    epochs: int = 100
+    lr: float = 0.01
+    weight_decay: float = 5e-4
+    lr_filter: float = 0.05
+    weight_decay_filter: float = 5e-5
+    hidden: int = 64
+    phi0_layers: int = 1   # full-batch pre-transform depth (MB forces 0)
+    phi1_layers: int = 1   # post-transform depth (paper MB default is 2)
+    dropout: float = 0.5
+    batch_size: int = 4096
+    patience: int = 50
+    eval_every: int = 1
+    rho: float = 0.5
+    backend: str = "csr"
+    metric: str = "accuracy"
+    seed: int = 0
+
+    def rng(self) -> np.random.Generator:
+        return np.random.default_rng(self.seed)
+
+
+@dataclass
+class RunResult:
+    """Outcome of one (filter, dataset, scheme, seed) run."""
+
+    status: str                  # "ok" | "oom"
+    test_score: float = float("nan")
+    valid_score: float = float("nan")
+    epochs_run: int = 0
+    profiler: StageProfiler = field(default_factory=StageProfiler)
+    device_peak_bytes: int = 0
+    ram_peak_bytes: int = 0
+    filter_params: Optional[Dict[str, np.ndarray]] = None
+    #: Final full-graph logits (n, C) from the best model, for node-wise
+    #: analyses (degree bias, t-SNE); None after an OOM.
+    predictions: Optional[np.ndarray] = None
+
+    @property
+    def is_oom(self) -> bool:
+        return self.status == "oom"
+
+    @property
+    def precompute_seconds(self) -> float:
+        return self.profiler.seconds("precompute")
+
+    @property
+    def train_seconds_per_epoch(self) -> float:
+        stage = self.profiler.stages.get("train")
+        return stage.seconds_per_call if stage else 0.0
+
+    @property
+    def inference_seconds(self) -> float:
+        return self.profiler.seconds("inference")
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "status": self.status,
+            "test": self.test_score,
+            "valid": self.valid_score,
+            "epochs": self.epochs_run,
+            "precompute_s": self.precompute_seconds,
+            "train_s_per_epoch": self.train_seconds_per_epoch,
+            "inference_s": self.inference_seconds,
+            "device_peak_bytes": self.device_peak_bytes,
+            "ram_peak_bytes": self.ram_peak_bytes,
+        }
+
+
+class EarlyStopper:
+    """Patience-based early stopping on the validation score (higher=better)."""
+
+    def __init__(self, patience: int):
+        self.patience = int(patience)
+        self.best_score = -np.inf
+        self.best_state: Optional[Dict[str, np.ndarray]] = None
+        self.bad_epochs = 0
+
+    def update(self, score: float, model: Module) -> bool:
+        """Record a validation score; returns True when training should stop."""
+        if score > self.best_score:
+            self.best_score = score
+            self.best_state = model.state_dict()
+            self.bad_epochs = 0
+            return False
+        self.bad_epochs += 1
+        return self.patience > 0 and self.bad_epochs >= self.patience
+
+    def restore(self, model: Module) -> None:
+        """Load the best-validation parameters back into the model."""
+        if self.best_state is not None:
+            model.load_state_dict(self.best_state)
+
+
+def build_optimizer(model, config: TrainConfig) -> Adam:
+    """Adam with the paper's two parameter groups: transforms vs filter.
+
+    Models exposing ``filter_parameters()`` / ``transform_parameters()``
+    (the decoupled family) get separate learning rates and weight decays
+    for θ/γ; plain modules fall back to a single group.
+    """
+    if hasattr(model, "filter_parameters") and model.filter_parameters():
+        groups = [
+            {
+                "params": model.transform_parameters(),
+                "lr": config.lr,
+                "weight_decay": config.weight_decay,
+            },
+            {
+                "params": model.filter_parameters(),
+                "lr": config.lr_filter,
+                "weight_decay": config.weight_decay_filter,
+            },
+        ]
+        return Adam(groups)
+    return Adam(model.parameters(), lr=config.lr, weight_decay=config.weight_decay)
+
+
+def make_device(capacity_gib: Optional[float] = None, name: str = "sim") -> DeviceModel:
+    """Device factory used by the schemes (None = unbounded profiling)."""
+    capacity = None if capacity_gib is None else int(capacity_gib * 1024 ** 3)
+    return DeviceModel(capacity_bytes=capacity, name=name)

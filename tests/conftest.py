@@ -1,0 +1,46 @@
+"""Shared fixtures: small deterministic graphs and signals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import synthesize
+from repro.graph import Graph
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+@pytest.fixture
+def tiny_graph():
+    """A fixed 8-node graph with two triangles and a bridge."""
+    edges = np.array([
+        [0, 1], [1, 2], [2, 0],      # triangle A
+        [3, 4], [4, 5], [5, 3],      # triangle B
+        [2, 3],                      # bridge
+        [5, 6], [6, 7],              # tail
+    ])
+    labels = np.array([0, 0, 0, 1, 1, 1, 1, 1])
+    features = np.eye(8, dtype=np.float32)
+    return Graph.from_edges(8, edges, features=features, labels=labels,
+                            name="tiny")
+
+
+@pytest.fixture
+def small_graph():
+    """A ~270-node cora-like synthetic graph (homophilous)."""
+    return synthesize("cora", scale=0.1, seed=3)
+
+
+@pytest.fixture
+def hetero_graph():
+    """A chameleon-like heterophilous synthetic graph."""
+    return synthesize("chameleon", scale=0.5, seed=3)
+
+
+@pytest.fixture
+def signal(small_graph, rng):
+    return rng.normal(size=(small_graph.num_nodes, 6)).astype(np.float32)

@@ -1,0 +1,59 @@
+"""The ``python -m repro.bench`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_lists_experiments(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_every_experiment_registered_with_artifact(self):
+        artifacts = [artifact for _, artifact, _ in EXPERIMENTS.values()]
+        assert any("Table 5" in a for a in artifacts)
+        assert any("Figure 10" in a for a in artifacts)
+        assert len(EXPERIMENTS) == 13
+
+    def test_parser_accepts_common_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["effectiveness", "--datasets", "cora",
+                                  "--filters", "ppr", "--epochs", "5",
+                                  "--seeds", "0", "1"])
+        assert args.experiment == "effectiveness"
+        assert args.datasets == ["cora"]
+        assert args.seeds == [0, 1]
+
+
+class TestExecution:
+    def test_taxonomy_runs(self, capsys):
+        assert main(["taxonomy"]) == 0
+        out = capsys.readouterr().out
+        assert "Bernstein" in out
+        assert "Table 1" in out
+
+    def test_effectiveness_with_overrides(self, capsys):
+        code = main(["effectiveness", "--datasets", "cora",
+                     "--filters", "identity", "monomial",
+                     "--epochs", "5", "--seeds", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Monomial" in out and "±" in out
+
+    def test_regression_with_epochs(self, capsys):
+        code = main(["regression", "--filters", "ppr", "--epochs", "5"])
+        assert code == 0
+        assert "low" in capsys.readouterr().out

@@ -1,0 +1,74 @@
+"""Fast smoke tests for every experiment runner (tiny configs).
+
+The full-size assertions live in ``benchmarks/``; these keep the runners'
+row schemas and basic invariants covered by the quick test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    degree_bias_experiment,
+    hardware_experiment,
+    hop_sweep_experiment,
+    normalization_experiment,
+    scale_shift_experiment,
+    stability_experiment,
+    tsne_experiment,
+)
+from repro.training import TrainConfig
+
+TINY = TrainConfig(epochs=3, patience=0, eval_every=10, hidden=16)
+
+
+class TestRunnersSmoke:
+    def test_stability_rows(self):
+        rows = stability_experiment(filters=("ppr",), dataset_names=("cora",),
+                                    seeds=(0, 1), config=TINY)
+        assert len(rows) == 2
+        assert {r["split"] for r in rows} == {"random"}
+        assert all(np.isfinite(r["score"]) for r in rows)
+
+    def test_hardware_rows(self):
+        rows = hardware_experiment(filters=("ppr",), dataset_name="cora",
+                                   config=TINY)
+        # 2 schemes × 2 platforms
+        assert len(rows) == 4
+        assert {r["platform"] for r in rows} == {"S1", "S2"}
+        assert all(r["total_s"] > 0 for r in rows)
+
+    def test_hop_sweep_rows(self):
+        rows = hop_sweep_experiment(filters=("ppr",), dataset_names=("cora",),
+                                    hops=(2, 4), config=TINY, seeds=(0,))
+        assert [r["K"] for r in rows] == [2, 4]
+        assert all(0 <= r["accuracy"] <= 1 for r in rows)
+
+    def test_tsne_rows(self):
+        rows = tsne_experiment(filters=("ppr",), dataset_names=("cora",),
+                               config=TINY, tsne_iterations=30)
+        assert rows[0]["embedding"].shape[1] == 2
+        assert rows[0]["cluster_separation"] > 0
+
+    def test_degree_bias_rows(self):
+        rows = degree_bias_experiment(filters=("ppr",),
+                                      dataset_names=("cora",),
+                                      config=TINY, seeds=(0,))
+        assert len(rows) == 1
+        assert -1.0 <= rows[0]["degree_gap"] <= 1.0
+        assert rows[0]["rho"] == 0.5
+
+    def test_normalization_rows(self):
+        rows = normalization_experiment(filters=("ppr",),
+                                        dataset_names=("cora",),
+                                        rhos=(0.0, 1.0), config=TINY,
+                                        seeds=(0,))
+        assert {r["rho"] for r in rows} == {0.0, 1.0}
+
+    def test_scale_shift_rows(self):
+        rows = scale_shift_experiment(filters=("ppr", "identity"),
+                                      dataset_names=("cora",),
+                                      seeds=(0,), config=TINY)
+        best = max(r["relative_accuracy"] for r in rows)
+        assert best == pytest.approx(1.0)

@@ -1,0 +1,88 @@
+"""Checkpoints and the tune-then-evaluate protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.filters import make_filter
+from repro.models import DecoupledModel
+from repro.nn import MLP
+from repro.tasks import tune_and_run
+from repro.training import TrainConfig, load_checkpoint, save_checkpoint
+
+
+class TestCheckpoint:
+    def test_round_trip(self, tmp_path, rng):
+        model = MLP(6, 3, hidden=8, num_layers=2, rng=rng)
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path, metadata={"filter": "ppr", "seed": 3})
+        # Perturb, then restore.
+        expected = model.state_dict()
+        for p in model.parameters():
+            p.data = p.data + 1.0
+        metadata = load_checkpoint(model, path)
+        assert metadata == {"filter": "ppr", "seed": 3}
+        for name, p in model.named_parameters():
+            np.testing.assert_array_equal(p.data, expected[name])
+
+    def test_decoupled_model_with_filter_params(self, tmp_path, small_graph, rng):
+        model = DecoupledModel(make_filter("chebyshev", num_hops=4),
+                               in_features=small_graph.num_features,
+                               out_features=3, rng=rng)
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path)
+        theta = model.filter_params()["theta"].data.copy()
+        model.filter_params()["theta"].data += 5.0
+        load_checkpoint(model, path)
+        np.testing.assert_array_equal(model.filter_params()["theta"].data, theta)
+
+    def test_architecture_mismatch_detected(self, tmp_path, rng):
+        small = MLP(6, 3, num_layers=1, rng=rng)
+        big = MLP(6, 3, hidden=8, num_layers=2, rng=rng)
+        path = tmp_path / "model.npz"
+        save_checkpoint(small, path)
+        with pytest.raises(TrainingError):
+            load_checkpoint(big, path)
+
+    def test_shape_mismatch_detected(self, tmp_path, rng):
+        a = MLP(6, 3, num_layers=1, rng=rng)
+        b = MLP(6, 4, num_layers=1, rng=rng)
+        path = tmp_path / "model.npz"
+        save_checkpoint(a, path)
+        with pytest.raises(TrainingError):
+            load_checkpoint(b, path)
+
+    def test_empty_metadata(self, tmp_path, rng):
+        model = MLP(4, 2, num_layers=1, rng=rng)
+        path = tmp_path / "model.npz"
+        save_checkpoint(model, path)
+        assert load_checkpoint(model, path) == {}
+
+
+class TestTuneAndRun:
+    def test_protocol(self, small_graph):
+        outcome = tune_and_run(
+            small_graph, "ppr", scheme="mini_batch",
+            base_config=TrainConfig(epochs=6, patience=0, eval_every=1),
+            budget=3, seed=0)
+        assert len(outcome.trace) == 3
+        assert np.isfinite(outcome.test_score)
+        assert outcome.best_valid_score >= outcome.trace[0] - 1e-9
+
+    def test_search_never_worse_than_base(self, small_graph):
+        outcome = tune_and_run(
+            small_graph, "chebyshev", scheme="mini_batch",
+            base_config=TrainConfig(epochs=6, patience=0, eval_every=1),
+            budget=4, seed=1)
+        assert outcome.best_valid_score >= outcome.trace[0]
+
+    def test_filter_hp_ranges_used(self, small_graph):
+        outcome = tune_and_run(
+            small_graph, "ppr", scheme="mini_batch",
+            base_config=TrainConfig(epochs=4, patience=0, eval_every=1),
+            budget=4, seed=2)
+        # Either the base (no HP) or a sampled config with alpha won.
+        if outcome.best_filter_hp:
+            assert 0.05 <= outcome.best_filter_hp["alpha"] <= 0.95

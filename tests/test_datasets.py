@@ -1,0 +1,251 @@
+"""Dataset registry, synthesis fidelity, splits, and signal tasks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_NAMES,
+    DATASETS,
+    SIGNAL_FUNCTIONS,
+    SIGNAL_NAMES,
+    SynthesisConfig,
+    by_homophily,
+    by_scale,
+    edge_split,
+    get_spec,
+    make_regression_task,
+    random_split,
+    stratified_split,
+    synthesize,
+)
+from repro.errors import DatasetError
+from repro.graph import node_homophily
+
+
+class TestRegistry:
+    def test_twenty_two_datasets(self):
+        assert len(DATASET_NAMES) == 22
+
+    def test_scale_partition(self):
+        assert len(by_scale("S")) == 11
+        assert len(by_scale("M")) == 6
+        assert len(by_scale("L")) == 5
+
+    def test_homophily_partition_covers_all(self):
+        assert len(by_homophily("homo")) + len(by_homophily("hetero")) == 22
+
+    def test_known_stats(self):
+        cora = get_spec("cora")
+        assert cora.nodes == 2708
+        assert cora.edges == 10556
+        assert cora.num_classes == 7
+        assert cora.metric == "accuracy"
+
+    def test_roc_auc_datasets_binary(self):
+        for spec in DATASETS.values():
+            if spec.metric == "roc_auc":
+                assert spec.is_binary
+
+    def test_case_insensitive_lookup(self):
+        assert get_spec("CORA").name == "cora"
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            get_spec("imagenet")
+
+    def test_average_degree(self):
+        assert get_spec("wiki").average_degree > get_spec("cora").average_degree
+
+
+class TestSynthesis:
+    @pytest.mark.parametrize("name", ["cora", "roman", "penn94", "genius"])
+    def test_homophily_within_tolerance(self, name):
+        spec = get_spec(name)
+        scale = {"S": 0.5, "M": 0.02, "L": 0.005}[spec.scale_class]
+        graph = synthesize(name, scale=scale, seed=0)
+        assert abs(node_homophily(graph) - spec.homophily) < 0.08
+
+    def test_node_count_scales(self):
+        spec = get_spec("pubmed")
+        graph = synthesize("pubmed", scale=0.1, seed=0)
+        assert abs(graph.num_nodes - spec.nodes * 0.1) < 2
+
+    def test_feature_width_faithful(self):
+        graph = synthesize("citeseer", scale=0.1, seed=0)
+        assert graph.num_features == get_spec("citeseer").num_features
+
+    def test_all_classes_present(self):
+        graph = synthesize("roman", scale=0.05, seed=0)
+        assert len(np.unique(graph.labels)) == graph.num_classes
+
+    def test_deterministic(self):
+        a = synthesize("cora", scale=0.1, seed=9)
+        b = synthesize("cora", scale=0.1, seed=9)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        np.testing.assert_array_equal(a.features, b.features)
+        assert (a.adjacency != b.adjacency).nnz == 0
+
+    def test_seed_changes_graph(self):
+        a = synthesize("cora", scale=0.1, seed=1)
+        b = synthesize("cora", scale=0.1, seed=2)
+        assert (a.adjacency != b.adjacency).nnz > 0
+
+    def test_minimum_floors(self):
+        graph = synthesize("cora", scale=0.001, seed=0)
+        assert graph.num_nodes >= 60
+
+    def test_degree_tail_widens_distribution(self):
+        flat = synthesize("cora", scale=0.3, seed=0,
+                          config=SynthesisConfig(degree_tail=0.05))
+        heavy = synthesize("cora", scale=0.3, seed=0,
+                           config=SynthesisConfig(degree_tail=1.5))
+        assert heavy.degrees.std() > flat.degrees.std()
+
+    def test_feature_signal_controls_separability(self):
+        weak = synthesize("cora", scale=0.2, seed=0,
+                          config=SynthesisConfig(feature_signal=0.05))
+        strong = synthesize("cora", scale=0.2, seed=0,
+                            config=SynthesisConfig(feature_signal=3.0))
+
+        def centroid_spread(graph):
+            means = np.stack([
+                graph.features[graph.labels == c].mean(axis=0)
+                for c in range(graph.num_classes)])
+            return np.linalg.norm(means - means.mean(axis=0), axis=1).mean()
+
+        assert centroid_spread(strong) > centroid_spread(weak)
+
+
+class TestSplits:
+    def test_random_split_disjoint_and_complete(self):
+        split = random_split(100, seed=0)
+        assert split.num_nodes == 100
+        combined = np.concatenate([split.train, split.valid, split.test])
+        assert len(np.unique(combined)) == 100
+
+    def test_default_fractions(self):
+        split = random_split(1000, seed=0)
+        assert len(split.train) == 600
+        assert len(split.valid) == 200
+
+    def test_fraction_validation(self):
+        with pytest.raises(DatasetError):
+            random_split(10, fractions=(0.5, 0.5, 0.5))
+        with pytest.raises(DatasetError):
+            stratified_split(np.zeros(10, dtype=int), fractions=(0.9, 0.2, -0.1))
+
+    def test_split_seeded(self):
+        a = random_split(50, seed=3)
+        b = random_split(50, seed=3)
+        np.testing.assert_array_equal(a.train, b.train)
+
+    def test_stratified_balances_classes(self):
+        labels = np.array([0] * 50 + [1] * 10)
+        split = stratified_split(labels, seed=0)
+        train_fraction_minor = (labels[split.train] == 1).sum() / 10
+        assert train_fraction_minor == pytest.approx(0.6, abs=0.1)
+
+    def test_stratified_less_variance_than_random(self):
+        labels = np.array([0] * 90 + [1] * 10)
+        random_counts, stratified_counts = [], []
+        for seed in range(10):
+            random_counts.append((labels[random_split(100, seed=seed).train] == 1).sum())
+            stratified_counts.append(
+                (labels[stratified_split(labels, seed=seed).train] == 1).sum())
+        assert np.std(stratified_counts) <= np.std(random_counts)
+
+    def test_split_overlap_detected(self):
+        from repro.datasets import Split
+
+        with pytest.raises(DatasetError):
+            Split(train=np.array([0, 1]), valid=np.array([1]), test=np.array([2]))
+
+    def test_edge_split(self):
+        edges = np.arange(40).reshape(20, 2)
+        train, valid, test = edge_split(edges, seed=0)
+        assert len(train) == 16 and len(valid) == 2 and len(test) == 2
+        combined = np.concatenate([train, valid, test])
+        assert len(np.unique(combined, axis=0)) == 20
+
+
+class TestSignals:
+    def test_five_functions(self):
+        assert len(SIGNAL_NAMES) == 5
+        assert set(SIGNAL_NAMES) == {"band", "combine", "high", "low", "reject"}
+
+    def test_function_shapes(self):
+        lams = np.linspace(0, 2, 50)
+        assert SIGNAL_FUNCTIONS["low"](lams)[0] == pytest.approx(1.0)
+        assert SIGNAL_FUNCTIONS["low"](lams)[-1] == pytest.approx(0.0, abs=1e-8)
+        assert SIGNAL_FUNCTIONS["high"](lams)[0] == pytest.approx(0.0)
+        assert SIGNAL_FUNCTIONS["band"](np.array([1.0]))[0] == pytest.approx(1.0)
+        assert SIGNAL_FUNCTIONS["reject"](np.array([1.0]))[0] == pytest.approx(0.0)
+
+    def test_regression_task_exactness(self, small_graph):
+        """Target must equal exact spectral filtering of the input."""
+        from repro.spectral import laplacian_eigendecomposition
+
+        task = make_regression_task(small_graph, "low", seed=0)
+        eigenvalues, eigenvectors = laplacian_eigendecomposition(small_graph)
+        response = SIGNAL_FUNCTIONS["low"](eigenvalues)
+        expected = eigenvectors @ (response[:, None] *
+                                   (eigenvectors.T @ task.input_signal))
+        np.testing.assert_allclose(task.target_signal, expected, atol=1e-3)
+
+    def test_unknown_signal(self, small_graph):
+        with pytest.raises(DatasetError):
+            make_regression_task(small_graph, "notch")
+
+    def test_task_shapes(self, small_graph):
+        task = make_regression_task(small_graph, "band", num_channels=3)
+        assert task.input_signal.shape == (small_graph.num_nodes, 3)
+        assert task.target_signal.shape == (small_graph.num_nodes, 3)
+        assert task.eigenvalues.shape == (small_graph.num_nodes,)
+
+
+class TestGraphIO:
+    def test_round_trip(self, small_graph, tmp_path):
+        from repro.datasets import load_graph, save_graph
+
+        path = tmp_path / "graph.npz"
+        save_graph(small_graph, path, metadata={"spec": "cora", "scale": 0.1})
+        loaded, metadata = load_graph(path)
+        assert metadata == {"spec": "cora", "scale": 0.1}
+        assert loaded.name == small_graph.name
+        assert (loaded.adjacency != small_graph.adjacency).nnz == 0
+        np.testing.assert_array_equal(loaded.features, small_graph.features)
+        np.testing.assert_array_equal(loaded.labels, small_graph.labels)
+
+    def test_featureless_graph(self, tmp_path):
+        from repro.datasets import load_graph, save_graph
+        from repro.graph import Graph
+
+        g = Graph.from_edges(4, np.array([[0, 1], [2, 3]]))
+        path = tmp_path / "bare.npz"
+        save_graph(g, path)
+        loaded, metadata = load_graph(path)
+        assert loaded.features is None
+        assert loaded.labels is None
+        assert metadata == {}
+
+    def test_non_graph_file_rejected(self, tmp_path):
+        from repro.datasets import load_graph
+
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.ones(3))
+        with pytest.raises(DatasetError):
+            load_graph(path)
+
+    def test_loaded_graph_trains(self, small_graph, tmp_path):
+        from repro.datasets import load_graph, save_graph
+        from repro.tasks import run_node_classification
+        from repro.training import TrainConfig
+
+        path = tmp_path / "graph.npz"
+        save_graph(small_graph, path)
+        loaded, _ = load_graph(path)
+        result = run_node_classification(
+            loaded, "ppr", config=TrainConfig(epochs=5, patience=0))
+        assert result.status == "ok"

@@ -1,0 +1,119 @@
+"""Decomposition-based models (Appendix A.3) and their scaling limits."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.autodiff import Tensor, functional as F, no_grad
+from repro.autodiff.optim import Adam
+from repro.datasets import synthesize
+from repro.errors import TrainingError
+from repro.models import (
+    LanczosNetLite,
+    SpectralCNNLite,
+    lanczos_decomposition,
+)
+
+
+class TestLanczos:
+    def test_ritz_values_within_spectrum(self, small_graph):
+        ritz_values, _ = lanczos_decomposition(small_graph, num_steps=12)
+        # Ã's spectrum lives in [-1, 1].
+        assert ritz_values.min() >= -1.0 - 1e-5
+        assert ritz_values.max() <= 1.0 + 1e-5
+
+    def test_extremal_ritz_accuracy(self, small_graph):
+        """Lanczos nails the extremal eigenvalues of Ã quickly."""
+        ritz_values, _ = lanczos_decomposition(small_graph, num_steps=30)
+        adjacency = small_graph.normalized_adjacency(0.5).toarray()
+        exact = np.linalg.eigvalsh((adjacency + adjacency.T) / 2)
+        assert abs(ritz_values.max() - exact.max()) < 1e-3
+
+    def test_ritz_vectors_orthonormal(self, small_graph):
+        _, vectors = lanczos_decomposition(small_graph, num_steps=10)
+        gram = vectors.T @ vectors
+        np.testing.assert_allclose(gram, np.eye(vectors.shape[1]), atol=1e-3)
+
+    def test_step_validation(self, small_graph):
+        with pytest.raises(TrainingError):
+            lanczos_decomposition(small_graph, num_steps=1)
+
+
+class TestModels:
+    def test_spectral_cnn_learns(self, small_graph):
+        rng = np.random.default_rng(0)
+        model = SpectralCNNLite(small_graph, small_graph.num_features,
+                                small_graph.num_classes, num_modes=32,
+                                rng=rng)
+        optimizer = Adam(model.parameters(), lr=0.02)
+        x = Tensor(small_graph.features)
+        labels = small_graph.labels
+        first_loss = None
+        for step in range(40):
+            logits = model(x)
+            loss = F.cross_entropy(logits, labels)
+            if step == 0:
+                first_loss = loss.item()
+            model.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < first_loss * 0.8
+
+    def test_spectral_cnn_response_accessible(self, small_graph):
+        model = SpectralCNNLite(small_graph, small_graph.num_features, 3,
+                                num_modes=8, rng=np.random.default_rng(0))
+        eigenvalues, response = model.learned_response()
+        assert eigenvalues.shape == response.shape == (8,)
+
+    def test_modes_capped_at_n(self, small_graph):
+        model = SpectralCNNLite(small_graph, small_graph.num_features, 3,
+                                num_modes=10_000,
+                                rng=np.random.default_rng(0))
+        assert model.response.shape == (small_graph.num_nodes,)
+
+    def test_lanczosnet_learns(self, small_graph):
+        rng = np.random.default_rng(0)
+        model = LanczosNetLite(small_graph, small_graph.num_features,
+                               small_graph.num_classes, num_steps=12, rng=rng)
+        optimizer = Adam(model.parameters(), lr=0.02)
+        x = Tensor(small_graph.features)
+        labels = small_graph.labels
+        losses = []
+        for _ in range(40):
+            logits = model(x)
+            loss = F.cross_entropy(logits, labels)
+            model.zero_grad()
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0] * 0.8
+
+
+class TestScalingRationale:
+    def test_decomposition_cost_grows_superlinearly(self):
+        """The Appendix A.3 exclusion argument, measured.
+
+        Dense decomposition time grows much faster than polynomial
+        propagation when n quadruples.
+        """
+        times = {}
+        for scale in (0.1, 0.4):
+            graph = synthesize("cora", scale=scale, seed=0)
+            start = time.perf_counter()
+            SpectralCNNLite(graph, graph.num_features, 3, num_modes=16,
+                            rng=np.random.default_rng(0))
+            decomposition = time.perf_counter() - start
+
+            from repro.filters import make_filter
+
+            start = time.perf_counter()
+            make_filter("ppr", num_hops=10).precompute(graph, graph.features)
+            propagation = time.perf_counter() - start
+            times[scale] = (decomposition, propagation)
+        small_ratio = times[0.1][0] / max(times[0.1][1], 1e-9)
+        large_ratio = times[0.4][0] / max(times[0.4][1], 1e-9)
+        # Relative cost of decomposition worsens with scale.
+        assert large_ratio > small_ratio

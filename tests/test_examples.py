@@ -1,0 +1,52 @@
+"""Example scripts: syntax, structure, and importability.
+
+Full example runs take minutes; these tests verify every example compiles,
+exposes a ``main()``, and documents itself — the cheap part of "runnable".
+"""
+
+from __future__ import annotations
+
+import ast
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_at_least_three_examples():
+    assert len(EXAMPLE_FILES) >= 3
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+class TestEveryExample:
+    def test_compiles(self, path, tmp_path):
+        py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"),
+                           doraise=True)
+
+    def test_has_main_and_guard(self, path):
+        tree = ast.parse(path.read_text())
+        functions = [node.name for node in ast.walk(tree)
+                     if isinstance(node, ast.FunctionDef)]
+        assert "main" in functions
+        assert '__name__ == "__main__"' in path.read_text()
+
+    def test_has_docstring_with_run_instructions(self, path):
+        tree = ast.parse(path.read_text())
+        docstring = ast.get_docstring(tree)
+        assert docstring, f"{path.name} missing module docstring"
+        assert "Run:" in docstring
+
+    def test_only_public_repro_imports(self, path):
+        """Examples should read like user code: repro + numpy only."""
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    assert root in ("numpy", "repro", "time"), alias.name
+            elif isinstance(node, ast.ImportFrom):
+                root = (node.module or "").split(".")[0]
+                assert root in ("numpy", "repro", "__future__"), node.module

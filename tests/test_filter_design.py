@@ -1,0 +1,105 @@
+"""Filter design: closed-form fitting of θ to target responses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FilterError
+from repro.filters import (
+    basis_matrix,
+    design_error,
+    fit_filter_to_response,
+    make_filter,
+)
+
+GRID = np.linspace(0.0, 2.0, 65)
+
+
+def band(lam):
+    return np.exp(-10.0 * (lam - 1.0) ** 2)
+
+
+def lowpass(lam):
+    return np.exp(-2.0 * lam)
+
+
+class TestBasisMatrix:
+    def test_shape(self):
+        matrix = basis_matrix(make_filter("chebyshev", num_hops=6), GRID)
+        assert matrix.shape == (65, 7)
+
+    def test_columns_are_basis_values(self):
+        matrix = basis_matrix(make_filter("chebyshev", num_hops=4), GRID)
+        theta = np.arccos(np.clip(GRID - 1.0, -1, 1))
+        np.testing.assert_allclose(matrix[:, 3], np.cos(3 * theta), atol=1e-8)
+
+
+class TestFitting:
+    @pytest.mark.parametrize("name", ["monomial_var", "chebyshev", "clenshaw",
+                                      "bernstein", "legendre", "jacobi",
+                                      "chebinterp", "horner"])
+    def test_variable_filters_fit_lowpass_well(self, name):
+        filter_ = make_filter(name, num_hops=10)
+        params = fit_filter_to_response(filter_, lowpass)
+        assert design_error(filter_, params, lowpass) < 0.02
+
+    @pytest.mark.parametrize("name", ["chebyshev", "bernstein", "chebinterp"])
+    def test_stable_bases_fit_bandpass(self, name):
+        filter_ = make_filter(name, num_hops=10)
+        params = fit_filter_to_response(filter_, band)
+        assert design_error(filter_, params, band) < 0.05
+
+    def test_fit_improves_over_default(self):
+        filter_ = make_filter("chebyshev", num_hops=10)
+        params = fit_filter_to_response(filter_, band)
+        default = {"theta": filter_.default_coefficients()}
+        assert design_error(filter_, params, band) < design_error(
+            filter_, default, band)
+
+    def test_bank_fitting(self):
+        bank = make_filter("figure", num_hops=8)
+        params = fit_filter_to_response(bank, band)
+        assert "gamma" in params
+        assert design_error(bank, params, band) < 0.1
+
+    def test_fixed_bank_channels_get_gamma(self):
+        bank = make_filter("g2cn", num_hops=10)
+        params = fit_filter_to_response(bank, band)
+        assert set(params) == {"gamma"}
+        assert design_error(bank, params, band) < design_error(
+            bank, None, band) + 1e-9
+
+    def test_fixed_filter_rejected(self):
+        with pytest.raises(FilterError):
+            fit_filter_to_response(make_filter("ppr"), lowpass)
+
+    def test_favard_rejected(self):
+        with pytest.raises(FilterError):
+            fit_filter_to_response(make_filter("favard", num_hops=5), lowpass)
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(FilterError):
+            fit_filter_to_response(make_filter("chebyshev"), lambda lam: 1.0)
+
+    def test_custom_grid(self):
+        grid = np.linspace(0.2, 1.8, 21)
+        filter_ = make_filter("chebyshev", num_hops=8)
+        params = fit_filter_to_response(filter_, lowpass, grid=grid)
+        assert design_error(filter_, params, lowpass, grid=grid) < 0.02
+
+    def test_fitted_params_drive_propagation(self, small_graph):
+        """Designed θ filters an actual signal like the target response."""
+        from repro.filters.base import PropagationContext
+        from repro.spectral import laplacian_eigendecomposition
+
+        filter_ = make_filter("chebyshev", num_hops=10)
+        eigenvalues, eigenvectors = laplacian_eigendecomposition(small_graph)
+        params = fit_filter_to_response(filter_, lowpass, grid=eigenvalues)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(small_graph.num_nodes, 1)).astype(np.float32)
+        ctx = PropagationContext.for_graph(small_graph)
+        out = np.asarray(filter_.forward(ctx, x, params))
+        expected = eigenvectors @ (lowpass(eigenvalues)[:, None] *
+                                   (eigenvectors.T @ x))
+        np.testing.assert_allclose(out, expected, atol=0.05)

@@ -1,0 +1,95 @@
+"""Approximate (thresholded) propagation: error bounds and gating."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import synthesize
+from repro.errors import FilterError
+from repro.filters import (
+    approximate_precompute,
+    approximation_error,
+    last_pruning_stats,
+    make_filter,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return synthesize("cora", scale=0.3, seed=0)
+
+
+@pytest.fixture(scope="module")
+def sparse_features(graph):
+    """One-hot-ish features: AGP's actual operating regime."""
+    rng = np.random.default_rng(0)
+    x = np.zeros((graph.num_nodes, 32), dtype=np.float32)
+    x[np.arange(graph.num_nodes), rng.integers(0, 32, graph.num_nodes)] = 1.0
+    return x
+
+
+class TestExactness:
+    def test_zero_threshold_is_exact(self, graph, sparse_features):
+        f = make_filter("ppr", num_hops=8, alpha=0.2)
+        exact = f.precompute(graph, sparse_features)
+        approximate = approximate_precompute(f, graph, sparse_features,
+                                             threshold=0.0)
+        np.testing.assert_allclose(approximate, exact, atol=1e-4)
+
+    @pytest.mark.parametrize("name", ["ppr", "hk", "monomial", "impulse",
+                                      "linear", "identity"])
+    def test_monomial_basis_filters_supported(self, graph, sparse_features,
+                                              name):
+        f = make_filter(name, num_hops=5)
+        out = approximate_precompute(f, graph, sparse_features, threshold=0.01)
+        assert out.shape == (graph.num_nodes, 1, 32)
+        assert np.all(np.isfinite(out))
+
+
+class TestErrorBehaviour:
+    def test_error_grows_with_threshold(self, graph, sparse_features):
+        f = make_filter("ppr", num_hops=10, alpha=0.15)
+        errors = [approximation_error(f, graph, sparse_features, thr)
+                  for thr in (0.01, 0.05, 0.2)]
+        assert errors[0] < errors[1] < errors[2]
+
+    def test_density_shrinks_with_threshold(self, graph, sparse_features):
+        f = make_filter("ppr", num_hops=10, alpha=0.15)
+        densities = []
+        for thr in (0.01, 0.2):
+            approximate_precompute(f, graph, sparse_features, threshold=thr)
+            densities.append(last_pruning_stats()["density"])
+        assert densities[1] < densities[0]
+
+    def test_small_threshold_small_error(self, graph, sparse_features):
+        f = make_filter("ppr", num_hops=10, alpha=0.15)
+        assert approximation_error(f, graph, sparse_features, 0.01) < 0.1
+
+    def test_stats_report_configuration(self, graph, sparse_features):
+        f = make_filter("hk", num_hops=6)
+        approximate_precompute(f, graph, sparse_features, threshold=0.03)
+        stats = last_pruning_stats()
+        assert stats["threshold"] == 0.03
+        assert stats["hops"] == 6
+        assert 0.0 < stats["density"] <= 1.0
+
+
+class TestGating:
+    def test_variable_filter_rejected(self, graph, sparse_features):
+        with pytest.raises(FilterError):
+            approximate_precompute(make_filter("chebyshev"), graph,
+                                   sparse_features)
+
+    def test_gaussian_rejected(self, graph, sparse_features):
+        # Gaussian uses the product form, not the monomial basis.
+        with pytest.raises(FilterError):
+            approximate_precompute(make_filter("gaussian"), graph,
+                                   sparse_features)
+
+    def test_bad_threshold(self, graph, sparse_features):
+        f = make_filter("ppr")
+        with pytest.raises(FilterError):
+            approximate_precompute(f, graph, sparse_features, threshold=1.0)
+        with pytest.raises(FilterError):
+            approximate_precompute(f, graph, sparse_features, threshold=-0.1)

@@ -1,0 +1,111 @@
+"""Spectral graph wavelets: frame quality, band placement, integration."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import FilterError
+from repro.filters import (
+    WaveletFilterBank,
+    dyadic_scales,
+    scaling_kernel,
+    wavelet_kernel,
+)
+from repro.spectral import laplacian_eigendecomposition
+
+LAMS = np.linspace(0.0, 2.0, 101)
+
+
+class TestKernels:
+    def test_scaling_is_low_pass(self):
+        values = scaling_kernel(LAMS)
+        assert values[0] == pytest.approx(1.0)
+        assert values[-1] < 0.01
+        assert np.all(np.diff(values) <= 1e-12)
+
+    def test_wavelet_peaks_at_inverse_scale(self):
+        for scale in (1.0, 2.0, 4.0):
+            values = wavelet_kernel(LAMS, scale)
+            peak = LAMS[np.argmax(values)]
+            assert peak == pytest.approx(1.0 / scale, abs=0.03)
+            # Grid point nearest the peak (sharp for large s): within 2%.
+            assert values.max() == pytest.approx(1.0, abs=0.02)
+
+    def test_wavelet_vanishes_at_zero(self):
+        # Zero DC response: wavelets carry no constant component.
+        assert wavelet_kernel(np.array([0.0]), 2.0)[0] == 0.0
+
+    def test_dyadic_scales_halve_centres(self):
+        scales = dyadic_scales(4)
+        centres = 1.0 / scales
+        np.testing.assert_allclose(centres, [2.0, 1.0, 0.5, 0.25])
+
+    def test_scale_validation(self):
+        with pytest.raises(FilterError):
+            dyadic_scales(0)
+
+
+class TestBank:
+    @pytest.fixture(scope="class")
+    def bank(self):
+        return WaveletFilterBank(num_scales=3, num_hops=12)
+
+    def test_channel_count(self, bank):
+        assert len(bank.channels) == 4  # scaling + 3 wavelets
+
+    def test_design_residuals_small(self, bank):
+        for channel in bank.channels:
+            assert channel.design_residual() < 0.02
+
+    def test_frame_is_well_conditioned(self, bank):
+        lower, upper = bank.frame_bounds()
+        assert lower > 0.5           # no spectral blind spots
+        assert upper / lower < 4.0   # decently tight frame
+
+    def test_channels_cover_disjoint_bands(self, bank):
+        responses = bank.channel_responses(LAMS)
+        peaks = [LAMS[np.argmax(np.abs(r))] for r in responses]
+        assert peaks[0] <= 0.1  # scaling at/near DC (Chebyshev-fit ripple)
+        # Wavelet centres at 2.0, 1.0, 0.5: strictly decreasing.
+        np.testing.assert_allclose(peaks[1:], [2.0, 1.0, 0.5], atol=0.05)
+
+    def test_concat_output_width(self, bank, small_graph, signal):
+        assert bank.output_width(signal.shape[1]) == 4 * signal.shape[1]
+        channels = bank.precompute(small_graph, signal)
+        assert channels.shape == (small_graph.num_nodes, 4, signal.shape[1])
+
+    def test_transform_matches_exact_wavelets(self, small_graph):
+        """Chebyshev-approximated transform ≈ exact spectral wavelets."""
+        rng = np.random.default_rng(0)
+        bank = WaveletFilterBank(num_scales=2, num_hops=16)
+        x = rng.normal(size=(small_graph.num_nodes, 1)).astype(np.float32)
+        channels = bank.precompute(small_graph, x)
+        eigenvalues, eigenvectors = laplacian_eigendecomposition(small_graph)
+        coefficients = eigenvectors.T @ x
+        kernels = [lambda lam: scaling_kernel(lam)] + [
+            (lambda lam, s=s: wavelet_kernel(lam, s)) for s in bank.scales]
+        for q, kernel in enumerate(kernels):
+            exact = eigenvectors @ (kernel(eigenvalues)[:, None] * coefficients)
+            np.testing.assert_allclose(channels[:, q, :], exact, atol=0.02)
+
+    def test_trains_as_filter(self, small_graph):
+        """The bank drops into the standard training pipeline."""
+        from repro.models import MiniBatchModel
+        from repro.autodiff import Tensor
+
+        bank = WaveletFilterBank(num_scales=2, num_hops=8)
+        channels = bank.precompute(small_graph, small_graph.features)
+        model = MiniBatchModel(bank, in_features=small_graph.num_features,
+                               out_features=small_graph.num_classes,
+                               rng=np.random.default_rng(0))
+        logits = model(Tensor(channels[:32]))
+        assert logits.shape == (32, small_graph.num_classes)
+
+    def test_sum_fusion_variant(self, small_graph, signal):
+        bank = WaveletFilterBank(num_scales=2, num_hops=8, fusion="sum")
+        from repro.filters.base import PropagationContext
+
+        ctx = PropagationContext.for_graph(small_graph)
+        out = bank.forward(ctx, signal)
+        assert np.asarray(out).shape == signal.shape

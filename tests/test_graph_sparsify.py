@@ -1,0 +1,91 @@
+"""Sparsifier: edge budgets, unbiasedness, spectral distortion trends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import synthesize
+from repro.errors import GraphError
+from repro.graph import (
+    Graph,
+    edge_importance,
+    sparsify,
+    spectral_distortion,
+)
+
+
+@pytest.fixture(scope="module")
+def dense_graph():
+    return synthesize("tolokers", scale=0.15, seed=0)
+
+
+class TestEdgeImportance:
+    def test_one_per_undirected_edge(self, dense_graph):
+        importance = edge_importance(dense_graph)
+        assert importance.shape == (dense_graph.edge_list().shape[0],)
+        assert np.all(importance > 0)
+
+    def test_low_degree_edges_more_important(self):
+        # A star: hub-leaf edges all share a leaf of degree 1 and are the
+        # most important; add a hub-hub style triangle to compare.
+        edges = np.array([[0, 1], [0, 2], [0, 3], [1, 2]])
+        g = Graph.from_edges(4, edges)
+        importance = edge_importance(g)
+        pairs = {tuple(e): i for e, i in zip(g.edge_list(), importance)}
+        assert pairs[(0, 3)] > pairs[(1, 2)]  # leaf edge beats triangle edge
+
+
+class TestSparsify:
+    def test_keep_one_is_identity(self, dense_graph):
+        assert sparsify(dense_graph, 1.0) is dense_graph
+
+    def test_edge_budget_respected(self, dense_graph):
+        sparse = sparsify(dense_graph, 0.4, rng=np.random.default_rng(0))
+        ratio = sparse.num_edges / dense_graph.num_edges
+        assert 0.25 < ratio < 0.55
+
+    def test_keeps_features_and_labels(self, dense_graph):
+        sparse = sparsify(dense_graph, 0.5, rng=np.random.default_rng(0))
+        assert sparse.features is dense_graph.features
+        np.testing.assert_array_equal(sparse.labels, dense_graph.labels)
+
+    def test_reweighting_approximately_unbiased(self, dense_graph):
+        """Across samples, total reweighted edge mass ≈ original mass."""
+        masses = []
+        for seed in range(8):
+            sparse = sparsify(dense_graph, 0.5,
+                              rng=np.random.default_rng(seed))
+            masses.append(sparse.adjacency.sum())
+        original = dense_graph.adjacency.sum()
+        assert abs(np.mean(masses) - original) / original < 0.1
+
+    def test_unweighted_mode(self, dense_graph):
+        sparse = sparsify(dense_graph, 0.5, rng=np.random.default_rng(0),
+                          reweight=False)
+        assert sparse.adjacency.max() == 1.0
+
+    def test_invalid_fraction(self, dense_graph):
+        with pytest.raises(GraphError):
+            sparsify(dense_graph, 0.0)
+        with pytest.raises(GraphError):
+            sparsify(dense_graph, 1.5)
+
+    def test_distortion_decreases_with_budget(self, dense_graph):
+        rng = np.random.default_rng(0)
+        light = spectral_distortion(
+            dense_graph, sparsify(dense_graph, 0.8, rng=rng))
+        heavy = spectral_distortion(
+            dense_graph, sparsify(dense_graph, 0.2, rng=rng))
+        assert light < heavy
+
+    def test_sparsified_training_still_learns(self, dense_graph):
+        from repro.tasks import run_node_classification
+        from repro.training import TrainConfig
+
+        sparse = sparsify(dense_graph, 0.5, rng=np.random.default_rng(0))
+        config = TrainConfig(epochs=15, patience=10, metric="roc_auc")
+        full = run_node_classification(dense_graph, "monomial", config=config)
+        light = run_node_classification(sparse, "monomial", config=config)
+        assert light.test_score > 0.5  # still above chance
+        assert abs(full.test_score - light.test_score) < 0.25

@@ -1,0 +1,101 @@
+"""Filter-selection guidelines: recommendation quality and structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import synthesize
+from repro.spectral import (
+    CATEGORY_COST,
+    label_spectral_energy,
+    recommend_filters,
+)
+
+
+@pytest.fixture(scope="module")
+def homo_graph():
+    return synthesize("cora", scale=0.15, seed=0)
+
+
+@pytest.fixture(scope="module")
+def hetero_graph():
+    return synthesize("chameleon", scale=0.4, seed=0)
+
+
+class TestLabelEnergy:
+    def test_shape_and_nonnegative(self, homo_graph):
+        energy = label_spectral_energy(homo_graph)
+        assert energy.shape == (homo_graph.num_nodes,)
+        assert np.all(energy >= 0)
+
+    def test_homophilous_energy_is_low_frequency(self, homo_graph, hetero_graph):
+        def centroid(graph):
+            from repro.spectral import laplacian_eigendecomposition
+
+            eigenvalues, _ = laplacian_eigendecomposition(graph)
+            energy = label_spectral_energy(graph)
+            return float((eigenvalues * energy).sum() / energy.sum())
+
+        assert centroid(homo_graph) < centroid(hetero_graph)
+
+
+class TestRecommendations:
+    def test_sorted_best_first(self, homo_graph):
+        recs = recommend_filters(homo_graph,
+                                 candidates=["ppr", "impulse", "chebyshev"])
+        scores = [r.score for r in recs]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_homophily_prefers_low_pass_fixed(self, homo_graph):
+        recs = recommend_filters(
+            homo_graph, candidates=["ppr", "hk", "impulse", "monomial"])
+        by_name = {r.filter_name: r for r in recs}
+        # A decaying low-pass beats the bare K-hop impulse under homophily.
+        assert by_name["ppr"].alignment > by_name["impulse"].alignment
+
+    def test_heterophily_ranks_impulse_last(self, hetero_graph):
+        recs = recommend_filters(
+            hetero_graph,
+            candidates=["impulse", "ppr", "chebyshev", "bernstein"])
+        assert recs[-1].filter_name == "impulse"
+
+    def test_heterophily_prefers_adaptive(self, hetero_graph):
+        recs = recommend_filters(
+            hetero_graph, candidates=["ppr", "hk", "chebyshev", "bernstein"])
+        assert recs[0].category == "variable"
+
+    def test_efficiency_weight_demotes_banks(self, homo_graph):
+        neutral = recommend_filters(homo_graph, efficiency_weight=0.0,
+                                    candidates=["ppr", "figure"])
+        thrifty = recommend_filters(homo_graph, efficiency_weight=0.5,
+                                    candidates=["ppr", "figure"])
+        neutral_rank = [r.filter_name for r in neutral]
+        thrifty_rank = [r.filter_name for r in thrifty]
+        assert thrifty_rank.index("ppr") <= neutral_rank.index("ppr")
+
+    def test_rationale_mentions_display_name(self, homo_graph):
+        recs = recommend_filters(homo_graph, candidates=["ppr"])
+        assert "PPR" in recs[0].rationale()
+
+    def test_cost_classes_cover_taxonomy(self):
+        assert set(CATEGORY_COST) == {"fixed", "variable", "bank"}
+
+    def test_defaults_cover_full_registry(self, homo_graph):
+        recs = recommend_filters(homo_graph, num_hops=6)
+        assert len(recs) == 27
+
+    def test_recommendation_predicts_accuracy_ordering(self, hetero_graph):
+        """Top recommendation trains better than the bottom one (C5)."""
+        from repro.tasks import run_node_classification
+        from repro.training import TrainConfig
+
+        recs = recommend_filters(
+            hetero_graph,
+            candidates=["impulse", "ppr", "chebyshev"])
+        config = TrainConfig(epochs=40, patience=20)
+        top = run_node_classification(hetero_graph, recs[0].filter_name,
+                                      config=config)
+        bottom = run_node_classification(hetero_graph, recs[-1].filter_name,
+                                         config=config)
+        assert top.test_score > bottom.test_score

@@ -1,0 +1,122 @@
+"""Spectral utilities: decomposition, response analysis, t-SNE."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError, ReproError
+from repro.filters import make_filter
+from repro.spectral import (
+    MAX_DENSE_NODES,
+    cluster_separation,
+    extremal_eigenvalues,
+    laplacian_eigendecomposition,
+    low_frequency_mass,
+    response_alignment,
+    response_on_grid,
+    response_on_spectrum,
+    spectral_density,
+    tsne,
+)
+
+
+class TestDecomposition:
+    def test_eigenvalues_sorted_and_bounded(self, small_graph):
+        eigenvalues, _ = laplacian_eigendecomposition(small_graph)
+        assert np.all(np.diff(eigenvalues) >= -1e-9)
+        assert eigenvalues[0] == pytest.approx(0.0, abs=1e-5)
+        assert eigenvalues[-1] <= 2.0 + 1e-6
+
+    def test_eigenvectors_orthonormal(self, small_graph):
+        _, eigenvectors = laplacian_eigendecomposition(small_graph)
+        gram = eigenvectors.T @ eigenvectors
+        np.testing.assert_allclose(gram, np.eye(small_graph.num_nodes), atol=1e-8)
+
+    def test_reconstruction(self, tiny_graph):
+        eigenvalues, eigenvectors = laplacian_eigendecomposition(tiny_graph)
+        reconstructed = eigenvectors @ np.diag(eigenvalues) @ eigenvectors.T
+        lap = tiny_graph.laplacian(0.5).toarray()
+        np.testing.assert_allclose(reconstructed, (lap + lap.T) / 2, atol=1e-5)
+
+    def test_large_graph_guardrail(self):
+        from repro.graph import Graph
+        import scipy.sparse as sp
+
+        n = MAX_DENSE_NODES + 1
+        g = Graph(sp.identity(n, format="csr") * 0)
+        with pytest.raises(GraphError):
+            laplacian_eigendecomposition(g)
+
+    def test_extremal_matches_dense(self, small_graph):
+        eigenvalues, _ = laplacian_eigendecomposition(small_graph)
+        small, large = extremal_eigenvalues(small_graph, k=2)
+        np.testing.assert_allclose(small, eigenvalues[:2], atol=1e-4)
+        np.testing.assert_allclose(large, eigenvalues[-2:], atol=1e-4)
+
+    def test_spectral_density_normalized(self, small_graph):
+        density = spectral_density(small_graph, bins=10)
+        assert density.shape == (10,)
+        assert density.sum() == pytest.approx(1.0)
+
+
+class TestResponseAnalysis:
+    def test_grid_shape(self):
+        lams, response = response_on_grid(make_filter("ppr"), num_points=31)
+        assert lams.shape == response.shape == (31,)
+
+    def test_on_spectrum(self, small_graph):
+        lams, response = response_on_spectrum(make_filter("linear"), small_graph)
+        np.testing.assert_allclose(response, 2.0 - lams, atol=1e-8)
+
+    def test_low_frequency_mass_orders_filters(self):
+        low_pass = low_frequency_mass(make_filter("hk", alpha=2.0))
+        from repro.filters.bank import LaplacianMonomialFilter
+
+        high_pass = low_frequency_mass(LaplacianMonomialFilter(num_hops=10))
+        assert low_pass > 0.8
+        assert high_pass < 0.4
+
+    def test_alignment_prefers_matching_filter(self, small_graph):
+        """A smooth signal aligns better with a low-pass filter."""
+        eigenvalues, eigenvectors = laplacian_eigendecomposition(small_graph)
+        smooth = eigenvectors[:, :5] @ np.ones(5)  # low-frequency signal
+        low = response_alignment(make_filter("hk", alpha=2.0), small_graph, smooth)
+        from repro.filters.bank import LaplacianMonomialFilter
+
+        high = response_alignment(LaplacianMonomialFilter(num_hops=10),
+                                  small_graph, smooth)
+        assert low > high
+
+
+class TestTsne:
+    def test_separates_gaussian_blobs(self):
+        rng = np.random.default_rng(0)
+        blob_a = rng.normal(size=(40, 10)) + 8.0
+        blob_b = rng.normal(size=(40, 10)) - 8.0
+        points = np.concatenate([blob_a, blob_b])
+        labels = np.array([0] * 40 + [1] * 40)
+        embedding = tsne(points, perplexity=15, num_iterations=150, seed=0)
+        assert embedding.shape == (80, 2)
+        assert cluster_separation(embedding, labels) > 2.0
+
+    def test_deterministic(self, rng):
+        points = rng.normal(size=(30, 5))
+        a = tsne(points, perplexity=10, num_iterations=50, seed=1)
+        b = tsne(points, perplexity=10, num_iterations=50, seed=1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_input_validation(self):
+        with pytest.raises(ReproError):
+            tsne(np.zeros(10))
+        with pytest.raises(ReproError):
+            tsne(np.zeros((5, 2)), perplexity=10)
+
+    def test_centered_output(self, rng):
+        embedding = tsne(rng.normal(size=(40, 4)), perplexity=10,
+                         num_iterations=60)
+        np.testing.assert_allclose(embedding.mean(axis=0), [0, 0], atol=1e-8)
+
+    def test_cluster_separation_validation(self):
+        with pytest.raises(ReproError):
+            cluster_separation(np.zeros((4, 2)), np.zeros(4, dtype=int))

@@ -1,0 +1,107 @@
+"""Hyperparameter search: ranges, sampling, budgeted random search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.training import (
+    FILTER_SEARCH_RANGES,
+    UNIVERSAL_DEFAULTS,
+    UNIVERSAL_GRID,
+    SearchSpace,
+    TrainConfig,
+    random_search,
+    sample_configuration,
+)
+
+
+class TestTableFour:
+    def test_defaults_in_grid(self):
+        assert UNIVERSAL_DEFAULTS["num_hops"] in UNIVERSAL_GRID["num_hops"]
+        assert UNIVERSAL_DEFAULTS["hidden"] in UNIVERSAL_GRID["hidden"]
+
+    def test_paper_universal_values(self):
+        assert UNIVERSAL_DEFAULTS["num_hops"] == 10
+        assert UNIVERSAL_DEFAULTS["hidden"] == 64
+        assert UNIVERSAL_DEFAULTS["phi0_layers_mb"] == 0
+        assert UNIVERSAL_DEFAULTS["phi1_layers_mb"] == 2
+
+    def test_filter_ranges_cover_tunable_filters(self):
+        assert "ppr" in FILTER_SEARCH_RANGES
+        assert "jacobi" in FILTER_SEARCH_RANGES
+        assert "g2cn" in FILTER_SEARCH_RANGES
+
+
+class TestSampling:
+    def test_draw_within_ranges(self):
+        space = SearchSpace.default(FILTER_SEARCH_RANGES["ppr"])
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            config, filter_hp = sample_configuration(space, TrainConfig(), rng)
+            assert 0.0 <= config.rho <= 1.0
+            assert 1e-5 <= config.lr <= 0.5
+            assert 1e-7 <= config.weight_decay <= 1e-3
+            assert 0.05 <= filter_hp["alpha"] <= 0.95
+
+    def test_log_ranges_span_decades(self):
+        space = SearchSpace.default()
+        rng = np.random.default_rng(0)
+        lrs = [sample_configuration(space, TrainConfig(), rng)[0].lr
+               for _ in range(200)]
+        assert min(lrs) < 1e-3 and max(lrs) > 0.05
+
+    def test_unknown_range_kind(self):
+        from repro.training.hyper import _draw
+
+        with pytest.raises(TrainingError):
+            _draw(np.random.default_rng(0), 0, 1, "cauchy")
+
+
+class TestRandomSearch:
+    def test_evaluates_base_first(self):
+        calls = []
+
+        def objective(config, filter_hp):
+            calls.append((config, filter_hp))
+            return -abs(config.lr - 0.02)
+
+        base = TrainConfig(lr=0.02)
+        best_config, best_hp, best_score, trace = random_search(
+            objective, SearchSpace.default(), base, budget=5, seed=0)
+        assert calls[0][0] is base
+        assert best_score == 0.0  # base is optimal for this objective
+        assert best_config is base
+        assert len(trace) == 5
+
+    def test_search_can_improve(self):
+        def objective(config, filter_hp):
+            return -abs(np.log10(config.lr) + 2)  # optimum at lr = 0.01
+
+        base = TrainConfig(lr=0.4)
+        _, _, best_score, trace = random_search(
+            objective, SearchSpace.default(), base, budget=30, seed=1)
+        assert best_score > trace[0]
+
+    def test_budget_validation(self):
+        with pytest.raises(TrainingError):
+            random_search(lambda c, h: 0.0, SearchSpace.default(),
+                          TrainConfig(), budget=0)
+
+    def test_end_to_end_tiny_search(self, small_graph):
+        """Random search over a real (tiny) training objective."""
+        from repro.tasks import run_node_classification
+
+        def objective(config, filter_hp):
+            result = run_node_classification(
+                small_graph, "ppr", scheme="mini_batch",
+                config=config, filter_hp=filter_hp)
+            return result.valid_score
+
+        base = TrainConfig(epochs=5, patience=0, eval_every=1)
+        space = SearchSpace.default(FILTER_SEARCH_RANGES["ppr"])
+        best_config, best_hp, best_score, trace = random_search(
+            objective, space, base, budget=3, seed=0)
+        assert len(trace) == 3
+        assert np.isfinite(best_score)

@@ -1,0 +1,193 @@
+"""Learning schemes end-to-end: FB / MB / GP training, OOM handling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import random_split
+from repro.filters import make_filter
+from repro.tasks import run_node_classification
+from repro.training import (
+    EarlyStopper,
+    FullBatchTrainer,
+    GraphPartitionTrainer,
+    MiniBatchTrainer,
+    TrainConfig,
+    build_optimizer,
+    make_device,
+)
+
+FAST = TrainConfig(epochs=15, patience=10)
+
+
+class TestFullBatch:
+    def test_learns_above_chance(self, small_graph):
+        result = run_node_classification(small_graph, "ppr",
+                                         scheme="full_batch", config=FAST)
+        assert result.status == "ok"
+        assert result.test_score > 1.5 / small_graph.num_classes
+
+    def test_records_stages(self, small_graph):
+        result = run_node_classification(small_graph, "ppr",
+                                         scheme="full_batch", config=FAST)
+        assert result.profiler.seconds("train") > 0
+        assert result.profiler.seconds("inference") > 0
+        assert result.epochs_run >= 1
+
+    def test_predictions_full_shape(self, small_graph):
+        result = run_node_classification(small_graph, "monomial",
+                                         scheme="full_batch", config=FAST)
+        assert result.predictions.shape == (small_graph.num_nodes,
+                                            small_graph.num_classes)
+
+    def test_variable_filter_params_returned(self, small_graph):
+        result = run_node_classification(small_graph, "chebyshev",
+                                         scheme="full_batch", config=FAST)
+        assert "theta" in result.filter_params
+        # θ moved away from initialization during training.
+        init = make_filter("chebyshev", num_hops=10).default_coefficients()
+        assert not np.allclose(result.filter_params["theta"], init)
+
+    def test_oom_status(self, small_graph):
+        result = run_node_classification(small_graph, "ppr",
+                                         scheme="full_batch", config=FAST,
+                                         device_capacity_gib=1e-6)
+        assert result.is_oom
+        assert np.isnan(result.test_score)
+
+    def test_device_accounts_graph_residency(self, small_graph):
+        result = run_node_classification(small_graph, "ppr",
+                                         scheme="full_batch", config=FAST)
+        assert result.device_peak_bytes > small_graph.features.nbytes
+
+    def test_seeded_reproducibility(self, small_graph):
+        split = random_split(small_graph.num_nodes, seed=0)
+        a = run_node_classification(small_graph, "ppr", scheme="full_batch",
+                                    config=FAST, split=split)
+        b = run_node_classification(small_graph, "ppr", scheme="full_batch",
+                                    config=FAST, split=split)
+        assert a.test_score == b.test_score
+
+
+class TestMiniBatch:
+    def test_learns_above_chance(self, small_graph):
+        result = run_node_classification(small_graph, "ppr",
+                                         scheme="mini_batch", config=FAST)
+        assert result.status == "ok"
+        assert result.test_score > 1.5 / small_graph.num_classes
+
+    def test_has_precompute_stage(self, small_graph):
+        result = run_node_classification(small_graph, "ppr",
+                                         scheme="mini_batch", config=FAST)
+        assert result.precompute_seconds > 0
+
+    def test_device_independent_of_graph(self):
+        """MB device peak barely grows with graph size (the paper's RQ2)."""
+        from repro.datasets import synthesize
+
+        small = synthesize("cora", scale=0.1, seed=0)
+        large = synthesize("cora", scale=0.6, seed=0)
+        config = TrainConfig(epochs=3, patience=0, batch_size=64, eval_every=10)
+        r_small = run_node_classification(small, "ppr", scheme="mini_batch",
+                                          config=config)
+        r_large = run_node_classification(large, "ppr", scheme="mini_batch",
+                                          config=config)
+        assert r_large.device_peak_bytes < 2 * r_small.device_peak_bytes
+        # ...but RAM grows with n.
+        assert r_large.ram_peak_bytes > r_small.ram_peak_bytes
+
+    def test_variable_filter_ram_exceeds_fixed(self, small_graph):
+        fixed = run_node_classification(small_graph, "ppr",
+                                        scheme="mini_batch", config=FAST)
+        variable = run_node_classification(small_graph, "chebyshev",
+                                           scheme="mini_batch", config=FAST)
+        assert variable.ram_peak_bytes > 3 * fixed.ram_peak_bytes
+
+    def test_comparable_to_full_batch(self, small_graph):
+        fb = run_node_classification(small_graph, "monomial",
+                                     scheme="full_batch", config=FAST)
+        mb = run_node_classification(small_graph, "monomial",
+                                     scheme="mini_batch", config=FAST)
+        assert abs(fb.test_score - mb.test_score) < 0.25
+
+
+class TestGraphPartition:
+    def test_trains(self, small_graph):
+        result = run_node_classification(small_graph, "ppr",
+                                         scheme="graph_partition",
+                                         config=FAST, num_parts=3)
+        assert result.status == "ok"
+        assert result.test_score > 1.0 / small_graph.num_classes
+
+    def test_device_smaller_than_full_batch(self, small_graph):
+        fb = run_node_classification(small_graph, "ppr", scheme="full_batch",
+                                     config=FAST)
+        gp = run_node_classification(small_graph, "ppr",
+                                     scheme="graph_partition", config=FAST,
+                                     num_parts=4)
+        assert gp.device_peak_bytes < fb.device_peak_bytes
+
+    def test_invalid_parts(self):
+        with pytest.raises(Exception):
+            GraphPartitionTrainer(num_parts=0)
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self, small_graph):
+        config = TrainConfig(epochs=200, patience=3)
+        result = run_node_classification(small_graph, "identity",
+                                         scheme="full_batch", config=config)
+        assert result.epochs_run < 200
+
+    def test_stopper_restores_best(self, rng):
+        from repro.nn import Linear
+
+        model = Linear(2, 2, rng=rng)
+        stopper = EarlyStopper(patience=2)
+        stopper.update(0.9, model)
+        best = model.weight.data.copy()
+        model.weight.data = model.weight.data + 1.0
+        stopper.update(0.1, model)
+        stopper.restore(model)
+        np.testing.assert_array_equal(model.weight.data, best)
+
+    def test_patience_zero_never_stops(self, rng):
+        from repro.nn import Linear
+
+        model = Linear(2, 2, rng=rng)
+        stopper = EarlyStopper(patience=0)
+        assert not stopper.update(0.5, model)
+        assert not stopper.update(0.4, model)
+        assert not stopper.update(0.3, model)
+
+
+class TestOptimizerGroups:
+    def test_decoupled_model_gets_two_groups(self, small_graph, rng):
+        from repro.models import DecoupledModel
+
+        model = DecoupledModel(make_filter("chebyshev", num_hops=4),
+                               in_features=small_graph.num_features,
+                               out_features=small_graph.num_classes, rng=rng)
+        config = TrainConfig(lr=0.01, lr_filter=0.2)
+        optimizer = build_optimizer(model, config)
+        assert len(optimizer.groups) == 2
+        assert optimizer.groups[0]["lr"] == 0.01
+        assert optimizer.groups[1]["lr"] == 0.2
+
+    def test_fixed_filter_single_group(self, small_graph, rng):
+        from repro.models import DecoupledModel
+
+        model = DecoupledModel(make_filter("ppr"),
+                               in_features=small_graph.num_features,
+                               out_features=small_graph.num_classes, rng=rng)
+        optimizer = build_optimizer(model, TrainConfig())
+        assert len(optimizer.groups) == 1
+
+
+class TestDeviceFactory:
+    def test_unbounded(self):
+        assert make_device(None).capacity_bytes is None
+
+    def test_bounded(self):
+        assert make_device(2.0).capacity_bytes == 2 * 1024 ** 3
