@@ -19,7 +19,7 @@ Quickstart::
 """
 
 from . import autodiff, bench, datasets, filters, graph, models, nn
-from . import runtime, spectral, tasks, training
+from . import runtime, spectral, tasks, telemetry, training
 from .errors import (
     AutodiffError,
     DatasetError,
@@ -44,6 +44,7 @@ __all__ = [
     "spectral",
     "runtime",
     "bench",
+    "telemetry",
     "ReproError",
     "GraphError",
     "FilterError",

@@ -16,6 +16,7 @@ from .tensor import (
     is_grad_enabled,
     no_grad,
     set_allocation_hook,
+    set_op_hook,
     stack,
     where,
 )
@@ -29,6 +30,7 @@ __all__ = [
     "no_grad",
     "is_grad_enabled",
     "set_allocation_hook",
+    "set_op_hook",
     "spmm",
     "spmm_numpy",
     "functional",

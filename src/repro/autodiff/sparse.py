@@ -23,7 +23,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..errors import AutodiffError
-from .tensor import Tensor, _notify_alloc
+from .tensor import Tensor, _notify_alloc, _notify_op
 
 
 def spmm(matrix: sp.spmatrix, dense: Tensor, backend: str = "csr") -> Tensor:
@@ -46,6 +46,8 @@ def spmm(matrix: sp.spmatrix, dense: Tensor, backend: str = "csr") -> Tensor:
     if backend == "csr":
         csr = matrix.tocsr()
         data = csr @ dense.data
+        width = dense.shape[1] if dense.ndim > 1 else 1
+        _notify_op("spmm", 2 * csr.nnz * width, data.nbytes)
         csr_t: Optional[sp.csr_matrix] = None
 
         def backward(grad: np.ndarray):
@@ -74,6 +76,8 @@ def _spmm_coo_gather(matrix: sp.spmatrix, dense: Tensor) -> Tensor:
     _notify_alloc(messages)  # the O(mF) intermediate is what we meter
     data = np.zeros((matrix.shape[0], dense.shape[1]), dtype=dense.dtype)
     np.add.at(data, rows, messages)
+    _notify_op("spmm", 2 * len(vals) * dense.shape[1],
+               data.nbytes + messages.nbytes)
 
     def backward(grad: np.ndarray):
         gathered = grad[rows] * vals[:, None]
@@ -93,11 +97,17 @@ def spmm_numpy(matrix: sp.spmatrix, dense: np.ndarray, backend: str = "csr") -> 
     bookkeeping while still supporting both backends.
     """
     if backend == "csr":
-        return np.asarray(matrix.tocsr() @ dense)
+        csr = matrix.tocsr()
+        out = np.asarray(csr @ dense)
+        width = dense.shape[1] if dense.ndim > 1 else 1
+        _notify_op("spmm", 2 * csr.nnz * width, out.nbytes)
+        return out
     if backend == "coo_gather":
         coo = matrix.tocoo()
         messages = dense[coo.col] * coo.data[:, None]
         out = np.zeros((matrix.shape[0], dense.shape[1]), dtype=dense.dtype)
         np.add.at(out, coo.row, messages)
+        _notify_op("spmm", 2 * coo.nnz * dense.shape[1],
+                   out.nbytes + messages.nbytes)
         return out
     raise AutodiffError(f"unknown spmm backend {backend!r}")

@@ -33,6 +33,7 @@ ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 _grad_enabled = True
 _allocation_hook: Optional[Callable[[int], None]] = None
+_op_hook: Optional[Callable[[str, int, int], None]] = None
 
 
 def set_allocation_hook(hook: Optional[Callable[[int], None]]) -> None:
@@ -45,9 +46,26 @@ def set_allocation_hook(hook: Optional[Callable[[int], None]]) -> None:
     _allocation_hook = hook
 
 
+def set_op_hook(hook: Optional[Callable[[str, int, int], None]]) -> None:
+    """Install ``hook(op, flops, nbytes)`` called per compute-heavy op.
+
+    Fired by dense matmuls here and sparse propagation in
+    :mod:`repro.autodiff.sparse` with the op's FLOP estimate and output
+    byte count. Used by :mod:`repro.telemetry` for op-level counters; pass
+    ``None`` to remove the hook.
+    """
+    global _op_hook
+    _op_hook = hook
+
+
 def _notify_alloc(arr: np.ndarray) -> None:
     if _allocation_hook is not None:
         _allocation_hook(arr.nbytes)
+
+
+def _notify_op(op: str, flops: int, nbytes: int) -> None:
+    if _op_hook is not None:
+        _op_hook(op, flops, nbytes)
 
 
 @contextmanager
@@ -370,6 +388,9 @@ class Tensor:
         if a.ndim > 2 or b.ndim > 2:
             return _batched_matmul(a, b)
         data = a.data @ b.data
+        if _op_hook is not None:
+            inner = a.data.shape[-1] if a.ndim else 1
+            _op_hook("matmul", 2 * data.size * inner, data.nbytes)
 
         def backward(grad: np.ndarray):
             grad_a = grad @ b.data.T if a.requires_grad else None
@@ -552,6 +573,8 @@ class Tensor:
 def _batched_matmul(a: Tensor, b: Tensor) -> Tensor:
     """Matmul with numpy broadcasting over batch dimensions (ndim up to 3)."""
     data = a.data @ b.data
+    if _op_hook is not None:
+        _op_hook("matmul", 2 * data.size * a.data.shape[-1], data.nbytes)
 
     def backward(grad: np.ndarray):
         grad_a = grad @ np.swapaxes(b.data, -1, -2) if a.requires_grad else None

@@ -7,6 +7,12 @@ Runs any paper-artifact experiment by name and prints its table::
     python -m repro.bench effectiveness --datasets cora roman --epochs 60
     python -m repro.bench efficiency --filters ppr chebyshev --schemes mini_batch
     python -m repro.bench regression --epochs 200
+
+Observability: runs collect telemetry (spans, op counters, per-epoch
+metrics) by default. ``--trace PATH`` streams the events to a JSONL file,
+writes a run manifest next to it, and appends a trace report to the
+output; ``--no-telemetry`` disables collection entirely (the zero-overhead
+mode used for timing-sensitive comparisons).
 """
 
 from __future__ import annotations
@@ -15,9 +21,10 @@ import argparse
 import sys
 from typing import Dict
 
+from .. import telemetry
 from ..training.loop import TrainConfig
 from . import experiments
-from .report import render_table
+from .report import render_run_telemetry, render_table
 
 #: experiment name -> (runner, paper artifact, accepts-config)
 EXPERIMENTS: Dict[str, tuple] = {
@@ -59,6 +66,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="simulated device capacity (GiB)")
     parser.add_argument("--output", type=str, default=None,
                         help="save rows as JSON to this path")
+    parser.add_argument("--trace", type=str, default=None, metavar="PATH",
+                        help="stream telemetry events to this JSONL file and "
+                             "write a run manifest next to it")
+    parser.add_argument("--no-telemetry", action="store_true",
+                        help="disable span/metric collection entirely")
     return parser
 
 
@@ -71,6 +83,9 @@ def main(argv=None) -> int:
                 for name, (_, artifact, _) in EXPERIMENTS.items()]
         print(render_table(rows, title="available experiments"))
         return 0
+
+    if args.trace and args.no_telemetry:
+        parser.error("--trace requires telemetry; drop --no-telemetry")
 
     entry = EXPERIMENTS.get(args.experiment)
     if entry is None:
@@ -103,17 +118,40 @@ def main(argv=None) -> int:
     if not takes_config and args.epochs is not None:
         kwargs["epochs"] = args.epochs
 
-    rows = runner(**kwargs)
+    telemetry_on = not args.no_telemetry
+    if telemetry_on:
+        telemetry.configure(trace_path=args.trace)
+    try:
+        with telemetry.span("experiment", experiment=args.experiment,
+                            artifact=artifact):
+            rows = runner(**kwargs)
+    finally:
+        events = telemetry.shutdown() if telemetry_on else []
+
     printable = [{k: v for k, v in row.items() if k != "embedding"}
                  for row in rows]
     print(render_table(printable, title=f"{args.experiment} ({artifact})"))
+
+    run_manifest = None
+    if telemetry_on:
+        run_manifest = telemetry.build_manifest(
+            config=kwargs.get("config"),
+            seed=(args.seeds[0] if args.seeds else None),
+            extra={"experiment": args.experiment, "artifact": artifact,
+                   "argv": list(argv) if argv is not None else sys.argv[1:]})
     if args.output:
         from .io import save_rows
 
         save_rows(rows, args.output,
                   metadata={"experiment": args.experiment,
-                            "artifact": artifact})
+                            "artifact": artifact},
+                  manifest=run_manifest if run_manifest is not None else True)
         print(f"saved {len(rows)} rows to {args.output}")
+    if args.trace and run_manifest is not None:
+        manifest_path = telemetry.manifest_path_for(args.trace)
+        telemetry.write_manifest(manifest_path, run_manifest)
+        print(f"trace: {args.trace}  manifest: {manifest_path}")
+        print(render_run_telemetry(events))
     return 0
 
 

@@ -3,17 +3,26 @@
 Benchmark sweeps are minutes long; this module lets the CLI and notebooks
 save experiment rows and reload them for later comparison against the
 paper (EXPERIMENTS.md workflow).
+
+Every result file gets a reproducibility sidecar: :func:`save_rows`
+writes a ``<name>.manifest.json`` run manifest (config, seed, git SHA,
+platform — see :mod:`repro.telemetry.manifest`) next to the rows, so any
+saved table row can be traced back to the exact code and configuration
+that produced it. JSONL telemetry traces round-trip through
+:func:`save_jsonl` / :func:`load_jsonl`.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Mapping, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from ..errors import ReproError
+from ..telemetry.manifest import build_manifest, manifest_path_for, write_manifest
+from ..telemetry.sinks import load_events
 
 PathLike = Union[str, Path]
 
@@ -45,13 +54,36 @@ def _unjsonify(value):
 
 
 def save_rows(rows: Sequence[Mapping], path: PathLike,
-              metadata: Mapping | None = None) -> None:
-    """Write experiment rows (plus optional metadata) as JSON."""
+              metadata: Mapping | None = None,
+              manifest: Union[Mapping, None, bool] = True) -> None:
+    """Write experiment rows (plus optional metadata) as JSON.
+
+    Parameters
+    ----------
+    manifest:
+        Reproducibility sidecar policy. ``True`` (default) builds a
+        minimal manifest (git SHA, platform, the ``metadata`` block) and
+        writes it to ``manifest_path_for(path)``; a mapping is written
+        as-is; ``False``/``None`` skips the sidecar.
+    """
     payload = {
         "metadata": _jsonify(dict(metadata or {})),
         "rows": [_jsonify(dict(row)) for row in rows],
     }
     Path(path).write_text(json.dumps(payload, indent=1))
+    if manifest is True:
+        manifest = build_manifest(extra={"metadata": dict(metadata or {}),
+                                         "num_rows": len(rows)})
+    if manifest:
+        write_manifest(manifest_path_for(path), manifest)
+
+
+def load_manifest(path: PathLike) -> Optional[Dict]:
+    """Read the manifest sidecar of a result file (None when absent)."""
+    sidecar = manifest_path_for(path)
+    if not sidecar.exists():
+        return None
+    return json.loads(sidecar.read_text())
 
 
 def load_rows(path: PathLike) -> List[Dict]:
@@ -66,3 +98,16 @@ def load_metadata(path: PathLike) -> Dict:
     """Read the metadata block of a saved experiment file."""
     payload = json.loads(Path(path).read_text())
     return _unjsonify(payload.get("metadata", {}))
+
+
+def save_jsonl(records: Sequence[Mapping], path: PathLike) -> None:
+    """Write records as JSON Lines (numpy-safe), one object per line."""
+    lines = [json.dumps(_jsonify(dict(record)), separators=(",", ":"),
+                        sort_keys=True)
+             for record in records]
+    Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+
+
+def load_jsonl(path: PathLike) -> List[Dict]:
+    """Read a JSONL file (e.g. a telemetry trace) into a list of dicts."""
+    return [_unjsonify(event) for event in load_events(path)]

@@ -10,7 +10,20 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Sequence
 
+from ..telemetry.report import render_trace_report, sparkline
+
 GIBIBYTE = 1024 ** 3
+
+__all__ = [
+    "format_score_cell",
+    "format_memory",
+    "format_seconds",
+    "render_table",
+    "render_run_telemetry",
+    "render_trace_report",
+    "sparkline",
+    "pivot",
+]
 
 
 def format_score_cell(mean: float, std: float, percent: bool = True) -> str:
@@ -62,6 +75,16 @@ def _render_value(value) -> str:
     if isinstance(value, float):
         return f"{value:.4g}"
     return str(value)
+
+
+def render_run_telemetry(events: Sequence[Mapping], top: int = 8) -> str:
+    """Trace summary appended to CLI output when tracing is enabled.
+
+    Thin composition over :func:`repro.telemetry.report.render_trace_report`
+    (top spans, per-epoch sparklines, op counters) with a bench-style
+    heading, so the trace report reads like the result tables above it.
+    """
+    return "== telemetry ==\n" + render_trace_report(events, top=top)
 
 
 def pivot(

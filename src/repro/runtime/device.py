@@ -24,6 +24,7 @@ from typing import Iterator, Optional, Union
 import numpy as np
 import scipy.sparse as sp
 
+from .. import telemetry
 from ..autodiff.tensor import set_allocation_hook
 from ..errors import DeviceOOMError
 
@@ -69,7 +70,9 @@ class DeviceModel:
         size = nbytes_of(obj)
         self._check(size)
         self.persistent_bytes += size
-        self.peak_bytes = max(self.peak_bytes, self.persistent_bytes)
+        if self.persistent_bytes > self.peak_bytes:
+            self.peak_bytes = self.persistent_bytes
+            telemetry.set_gauge(f"device.{self.name}.peak_bytes", self.peak_bytes)
         return size
 
     def free(self, obj: Union[int, np.ndarray, sp.spmatrix]) -> None:
@@ -105,12 +108,17 @@ class DeviceModel:
         total = self.persistent_bytes + self._transient_bytes
         if total > self.peak_bytes:
             self.peak_bytes = total
+            # Only on a new peak (not per-alloc) to keep the hot path cheap.
+            telemetry.set_gauge(f"device.{self.name}.peak_bytes", total)
 
     def _check(self, nbytes: int) -> None:
         if self.capacity_bytes is None:
             return
         used = self.persistent_bytes + self._transient_bytes
         if used + nbytes > self.capacity_bytes:
+            telemetry.emit_event("device.oom", device=self.name,
+                                 requested_bytes=int(nbytes), used_bytes=int(used),
+                                 capacity_bytes=int(self.capacity_bytes))
             raise DeviceOOMError(nbytes, used, self.capacity_bytes)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,211 @@
+"""repro.telemetry — spans, metrics, and run manifests for the benchmark.
+
+The paper's contribution is *measurement*; this package is the instrument.
+It provides three connected layers:
+
+- **Spans** (:mod:`.spans`): a hierarchical, thread-safe tracer. Trainers
+  and the profiler open nested spans (``precompute → train → epoch →
+  forward/backward``) whose wall time, allocated bytes, and RAM growth
+  land on an event sink.
+- **Metrics** (:mod:`.metrics`): counters/gauges/streaming histograms fed
+  by op hooks in :mod:`repro.autodiff` (matmul/spmm FLOPs and bytes) and
+  per-epoch hooks in :mod:`repro.training` (loss, score, grad norm).
+- **Artifacts** (:mod:`.sinks`, :mod:`.manifest`, :mod:`.report`): a JSONL
+  trace file, a deterministic run manifest written next to every result
+  file, and a terminal report (top spans, per-epoch sparklines).
+
+Module-level usage — the pattern every instrumented call site follows::
+
+    from repro import telemetry
+
+    telemetry.configure(trace_path="run.jsonl")   # None → memory only
+    with telemetry.span("precompute", filter="ppr"):
+        ...
+    telemetry.emit_event("epoch", epoch=0, loss=1.2)
+    events = telemetry.shutdown()                 # flush + detach hooks
+
+When no tracer is configured, :func:`span` returns a shared no-op context
+manager and :func:`emit_event` returns immediately — instrumented code
+pays one ``None`` check, which is what keeps the disabled-mode overhead
+unmeasurable.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Union
+
+from .hooks import install_op_hooks, uninstall_op_hooks
+from .manifest import (
+    MANIFEST_SUFFIX,
+    build_manifest,
+    dataset_fingerprint,
+    git_sha,
+    manifest_path_for,
+    platform_info,
+    read_manifest,
+    write_manifest,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .report import (
+    render_counters,
+    render_epoch_table,
+    render_top_spans,
+    render_trace_report,
+    sparkline,
+)
+from .sinks import (
+    EventSink,
+    JsonlSink,
+    MemorySink,
+    NullSink,
+    TeeSink,
+    load_events,
+)
+from .spans import NOOP_SPAN, Span, Tracer
+
+_tracer: Optional[Tracer] = None
+_memory: Optional[MemorySink] = None
+_config_lock = threading.Lock()
+
+
+def configure(trace_path: Optional[str] = None,
+              sink: Optional[EventSink] = None,
+              metrics: Optional[MetricsRegistry] = None) -> Tracer:
+    """Enable telemetry process-wide; returns the active tracer.
+
+    Events always accumulate in an in-process :class:`MemorySink` (so
+    :func:`shutdown` can hand them to the report renderer); ``trace_path``
+    additionally streams them to a JSONL file. An explicit ``sink``
+    replaces the memory buffer entirely. Re-configuring tears down any
+    previous tracer first.
+    """
+    global _tracer, _memory
+    with _config_lock:
+        if _tracer is not None:
+            _shutdown_locked()
+        if sink is not None:
+            _memory = None
+            active_sink = sink
+        else:
+            _memory = MemorySink()
+            if trace_path is not None:
+                active_sink = TeeSink(_memory, JsonlSink(trace_path))
+            else:
+                active_sink = _memory
+        _tracer = Tracer(sink=active_sink, metrics=metrics)
+        install_op_hooks(_tracer)
+        return _tracer
+
+
+def _shutdown_locked() -> List[Dict]:
+    global _tracer, _memory
+    events: List[Dict] = []
+    if _tracer is not None:
+        uninstall_op_hooks()
+        _tracer.close()
+        if _memory is not None:
+            events = _memory.events
+    _tracer = None
+    _memory = None
+    return events
+
+
+def shutdown() -> List[Dict]:
+    """Disable telemetry; flush sinks and return the buffered events."""
+    with _config_lock:
+        return _shutdown_locked()
+
+
+def enabled() -> bool:
+    """Whether a tracer is currently active."""
+    return _tracer is not None
+
+
+def get_tracer() -> Optional[Tracer]:
+    """The active tracer, or ``None`` while telemetry is disabled."""
+    return _tracer
+
+
+def get_metrics() -> Optional[MetricsRegistry]:
+    """The active registry, or ``None`` while telemetry is disabled."""
+    return _tracer.metrics if _tracer is not None else None
+
+
+def span(name: str, **attrs) -> Union[Span, "object"]:
+    """Open a span on the active tracer; a shared no-op when disabled."""
+    if _tracer is None:
+        return NOOP_SPAN
+    return _tracer.span(name, **attrs)
+
+
+def emit_event(event_type: str, **fields) -> None:
+    """Emit a free-form event (no-op while disabled)."""
+    if _tracer is not None:
+        _tracer.emit_event(event_type, **fields)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge on the active registry (no-op while disabled)."""
+    if _tracer is not None:
+        _tracer.metrics.gauge(name).set(value)
+
+
+def inc_counter(name: str, amount: float = 1) -> None:
+    """Increment a counter on the active registry (no-op while disabled)."""
+    if _tracer is not None:
+        _tracer.metrics.counter(name).inc(amount)
+
+
+def observe(name: str, value: float) -> None:
+    """Feed a histogram on the active registry (no-op while disabled)."""
+    if _tracer is not None:
+        _tracer.metrics.histogram(name).observe(value)
+
+
+__all__ = [
+    # lifecycle
+    "configure",
+    "shutdown",
+    "enabled",
+    "get_tracer",
+    "get_metrics",
+    # recording
+    "span",
+    "emit_event",
+    "set_gauge",
+    "inc_counter",
+    "observe",
+    "NOOP_SPAN",
+    # building blocks
+    "Span",
+    "Tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "EventSink",
+    "MemorySink",
+    "JsonlSink",
+    "TeeSink",
+    "NullSink",
+    "load_events",
+    # manifests
+    "build_manifest",
+    "write_manifest",
+    "read_manifest",
+    "manifest_path_for",
+    "dataset_fingerprint",
+    "git_sha",
+    "platform_info",
+    "MANIFEST_SUFFIX",
+    # reporting
+    "render_trace_report",
+    "render_top_spans",
+    "render_epoch_table",
+    "render_counters",
+    "sparkline",
+    # hooks
+    "install_op_hooks",
+    "uninstall_op_hooks",
+]

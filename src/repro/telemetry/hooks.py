@@ -1,0 +1,35 @@
+"""Bridging telemetry into the autodiff engine's op-hook slot.
+
+:mod:`repro.autodiff.tensor` exposes ``set_op_hook`` in the same style as
+its ``set_allocation_hook``: a single process-wide callback receiving
+``(op, flops, nbytes)`` for every dense matmul and sparse propagation the
+engine executes. Installing telemetry routes those into FLOP/byte/call
+counters on the active registry and attributes the bytes to every open
+span, which is how traces show *where* the arithmetic happened.
+"""
+
+from __future__ import annotations
+
+from .spans import Tracer
+
+
+def install_op_hooks(tracer: Tracer) -> None:
+    """Point the engine's op hook at ``tracer``'s metrics registry."""
+    from ..autodiff import tensor as tensor_mod
+
+    metrics = tracer.metrics
+
+    def op_hook(op: str, flops: int, nbytes: int) -> None:
+        metrics.counter(f"ops.{op}.calls").inc()
+        metrics.counter(f"ops.{op}.flops").inc(flops)
+        metrics.counter(f"ops.{op}.bytes").inc(nbytes)
+        tracer.add_alloc_bytes(nbytes)
+
+    tensor_mod.set_op_hook(op_hook)
+
+
+def uninstall_op_hooks() -> None:
+    """Detach telemetry from the engine (no-op when nothing installed)."""
+    from ..autodiff import tensor as tensor_mod
+
+    tensor_mod.set_op_hook(None)

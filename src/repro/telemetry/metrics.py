@@ -1,0 +1,170 @@
+"""Counters, gauges, and streaming histograms for op- and epoch-level data.
+
+The registry is the numeric side of telemetry: op hooks in
+:mod:`repro.autodiff` feed FLOP/byte counters, the device model feeds peak
+gauges, and the training loop feeds loss/score histograms. Everything is
+designed for cheap unlocked reads and locked writes, and for a plain-dict
+:meth:`MetricsRegistry.snapshot` that serializes into the trace.
+
+The histogram keeps a *deterministic decimating reservoir*: once the
+sample buffer fills, every other sample is dropped and the sampling stride
+doubles. Quantiles stay representative for arbitrarily long streams
+without unbounded memory and without randomness (reproducible traces).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional
+
+
+class Counter:
+    """Monotonically increasing count (calls, FLOPs, bytes)."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """Last-written value plus the maximum ever seen (peaks)."""
+
+    __slots__ = ("name", "value", "max_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+        self.max_value: float = float("-inf")
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+            if value > self.max_value:
+                self.max_value = value
+
+
+class Histogram:
+    """Streaming distribution summary: count/mean plus p50/p95/max.
+
+    Parameters
+    ----------
+    max_samples:
+        Reservoir capacity. When full, the buffer is decimated (every
+        second sample kept) and the keep-stride doubles, so memory stays
+        bounded while the kept samples remain evenly spread over the
+        stream.
+    """
+
+    __slots__ = ("name", "count", "total", "min_value", "max_value",
+                 "_samples", "_stride", "_lock", "max_samples")
+
+    def __init__(self, name: str, max_samples: int = 1024):
+        self.name = name
+        self.max_samples = int(max_samples)
+        self.count = 0
+        self.total = 0.0
+        self.min_value = float("inf")
+        self.max_value = float("-inf")
+        self._samples: List[float] = []
+        self._stride = 1
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min_value:
+                self.min_value = value
+            if value > self.max_value:
+                self.max_value = value
+            if (self.count - 1) % self._stride == 0:
+                self._samples.append(value)
+                if len(self._samples) >= self.max_samples:
+                    self._samples = self._samples[::2]
+                    self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Linear-interpolated quantile over the kept samples."""
+        with self._lock:
+            samples = sorted(self._samples)
+        if not samples:
+            return 0.0
+        if len(samples) == 1:
+            return samples[0]
+        position = q * (len(samples) - 1)
+        low = int(position)
+        high = min(low + 1, len(samples) - 1)
+        fraction = position - low
+        return samples[low] * (1.0 - fraction) + samples[high] * fraction
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "max": self.max_value if self.count else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named counters, gauges, and histograms."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str, max_samples: int = 1024) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram(name, max_samples)
+        return metric
+
+    def get_counter(self, name: str) -> Optional[Counter]:
+        return self._counters.get(name)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Plain-dict view of every metric, ready for JSON serialization."""
+        out: Dict[str, Dict] = {}
+        if self._counters:
+            out["counters"] = {n: c.value for n, c in sorted(self._counters.items())}
+        if self._gauges:
+            out["gauges"] = {
+                n: {"value": g.value, "max": g.max_value}
+                for n, g in sorted(self._gauges.items())
+            }
+        if self._histograms:
+            out["histograms"] = {
+                n: h.summary() for n, h in sorted(self._histograms.items())
+            }
+        return out

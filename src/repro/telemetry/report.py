@@ -1,0 +1,157 @@
+"""Text rendering of traces: top spans, per-epoch sparklines, counters.
+
+Turns a list of trace events (from a :class:`~repro.telemetry.sinks.MemorySink`
+buffer or a JSONL file reloaded with
+:func:`~repro.telemetry.sinks.load_events`) into the compact terminal
+report printed by ``python -m repro.bench --trace``. Kept free of imports
+from :mod:`repro.bench` so the bench layer can build on it without cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 32) -> str:
+    """Unicode block sparkline of a numeric series, resampled to ``width``."""
+    series = [float(v) for v in values if v is not None]
+    if not series:
+        return ""
+    if len(series) > width:
+        stride = len(series) / width
+        series = [series[int(i * stride)] for i in range(width)]
+    low, high = min(series), max(series)
+    span = high - low
+    if span <= 0:
+        return SPARK_CHARS[0] * len(series)
+    top = len(SPARK_CHARS) - 1
+    return "".join(SPARK_CHARS[int((v - low) / span * top)] for v in series)
+
+
+def _table(headers: List[str], rows: List[List[str]], title: str) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [f"-- {title} --"]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+def _format_bytes(nbytes: float) -> str:
+    value = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.1f}{unit}"
+        value /= 1024
+    return f"{value:.1f}GiB"
+
+
+def aggregate_spans(events: Iterable[Mapping]) -> Dict[str, Dict]:
+    """Fold span events into per-name totals (calls, seconds, bytes)."""
+    stats: Dict[str, Dict] = {}
+    for event in events:
+        if event.get("type") != "span":
+            continue
+        entry = stats.setdefault(event["name"], {
+            "calls": 0, "seconds": 0.0, "max_seconds": 0.0,
+            "alloc_bytes": 0, "ram_delta_bytes": 0,
+        })
+        entry["calls"] += 1
+        entry["seconds"] += event.get("duration_s", 0.0)
+        entry["max_seconds"] = max(entry["max_seconds"],
+                                   event.get("duration_s", 0.0))
+        entry["alloc_bytes"] += event.get("alloc_bytes", 0)
+        entry["ram_delta_bytes"] += event.get("ram_delta_bytes", 0)
+    return stats
+
+
+def render_top_spans(events: Iterable[Mapping], top: int = 10) -> str:
+    """The hot list: span names ranked by total wall time."""
+    stats = aggregate_spans(events)
+    if not stats:
+        return "-- top spans --\n(no spans recorded)"
+    ranked = sorted(stats.items(), key=lambda kv: kv[1]["seconds"],
+                    reverse=True)[:top]
+    rows = []
+    for name, entry in ranked:
+        mean = entry["seconds"] / entry["calls"] if entry["calls"] else 0.0
+        rows.append([
+            name,
+            str(entry["calls"]),
+            _format_seconds(entry["seconds"]),
+            _format_seconds(mean),
+            _format_seconds(entry["max_seconds"]),
+            _format_bytes(entry["alloc_bytes"]),
+        ])
+    return _table(["span", "calls", "total", "mean", "max", "alloc"],
+                  rows, f"top {len(rows)} spans by total time")
+
+
+def epoch_series(events: Iterable[Mapping], field: str) -> List[float]:
+    """Extract one numeric per-epoch series from ``epoch`` events."""
+    return [event[field] for event in events
+            if event.get("type") == "epoch" and event.get(field) is not None]
+
+
+def render_epoch_table(events: Iterable[Mapping]) -> str:
+    """Per-epoch metric sparklines (loss, validation score, grad norm)."""
+    fields = ("loss", "valid_score", "grad_norm")
+    rows = []
+    for field in fields:
+        series = epoch_series(events, field)
+        if not series:
+            continue
+        rows.append([
+            field,
+            str(len(series)),
+            f"{series[0]:.4g}",
+            f"{series[-1]:.4g}",
+            f"{min(series):.4g}",
+            f"{max(series):.4g}",
+            sparkline(series),
+        ])
+    if not rows:
+        return "-- per-epoch metrics --\n(no epoch events recorded)"
+    return _table(["metric", "epochs", "first", "last", "min", "max", "trend"],
+                  rows, "per-epoch metrics")
+
+
+def render_counters(events: Iterable[Mapping],
+                    metrics: Optional[Mapping] = None) -> str:
+    """Counter table from a metrics snapshot (explicit or in-trace)."""
+    snapshot: Optional[Mapping] = metrics
+    if snapshot is None:
+        for event in events:
+            if event.get("type") == "metrics":
+                snapshot = event.get("metrics", {})
+    counters = (snapshot or {}).get("counters", {})
+    if not counters:
+        return "-- op counters --\n(no counters recorded)"
+    rows = [[name, f"{value:,.0f}" if isinstance(value, (int, float)) else str(value)]
+            for name, value in sorted(counters.items())]
+    return _table(["counter", "value"], rows, "op counters")
+
+
+def render_trace_report(events: Sequence[Mapping],
+                        metrics: Optional[Mapping] = None,
+                        top: int = 10) -> str:
+    """Full report: top spans + per-epoch sparklines + op counters."""
+    sections = [
+        render_top_spans(events, top=top),
+        render_epoch_table(events),
+        render_counters(events, metrics=metrics),
+    ]
+    return "\n\n".join(sections)

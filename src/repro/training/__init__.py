@@ -10,7 +10,15 @@ from .hyper import (
     random_search,
     sample_configuration,
 )
-from .loop import EarlyStopper, RunResult, TrainConfig, build_optimizer, make_device
+from .loop import (
+    EarlyStopper,
+    RunResult,
+    TrainConfig,
+    build_optimizer,
+    grad_global_norm,
+    make_device,
+    record_epoch_telemetry,
+)
 from .metrics import METRICS, accuracy, evaluate, macro_f1, r2_score, roc_auc
 from .schemes import (
     SCHEMES,
@@ -25,6 +33,8 @@ __all__ = [
     "EarlyStopper",
     "build_optimizer",
     "make_device",
+    "grad_global_norm",
+    "record_epoch_telemetry",
     "FullBatchTrainer",
     "MiniBatchTrainer",
     "GraphPartitionTrainer",

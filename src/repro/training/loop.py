@@ -8,11 +8,13 @@ which live here.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 import numpy as np
 
+from .. import telemetry
 from ..autodiff.optim import Adam
 from ..nn.module import Module
 from ..runtime.device import DeviceModel
@@ -148,3 +150,49 @@ def make_device(capacity_gib: Optional[float] = None, name: str = "sim") -> Devi
     """Device factory used by the schemes (None = unbounded profiling)."""
     capacity = None if capacity_gib is None else int(capacity_gib * 1024 ** 3)
     return DeviceModel(capacity_bytes=capacity, name=name)
+
+
+def grad_global_norm(model: Module) -> float:
+    """Global L2 norm over every parameter gradient (0.0 when none set)."""
+    total = 0.0
+    for param in model.parameters():
+        if param.grad is not None:
+            total += float(np.sum(param.grad.astype(np.float64) ** 2))
+    return math.sqrt(total)
+
+
+def record_epoch_telemetry(
+    epoch: int,
+    loss: Optional[float],
+    valid_score: Optional[float] = None,
+    stopper: Optional[EarlyStopper] = None,
+    model: Optional[Module] = None,
+) -> None:
+    """Emit one per-epoch telemetry event plus metric-series updates.
+
+    Feeds the trace's ``epoch`` events (loss, eval metric, grad norm,
+    early-stop state) and the loss/score histograms the report's sparkline
+    table renders. A no-op when telemetry is disabled, so trainers call it
+    unconditionally; the (mildly costly) grad norm is only computed while
+    a tracer is active.
+    """
+    if not telemetry.enabled():
+        return
+    grad_norm = grad_global_norm(model) if model is not None else None
+    telemetry.emit_event(
+        "epoch",
+        epoch=int(epoch),
+        loss=None if loss is None else float(loss),
+        valid_score=None if valid_score is None else float(valid_score),
+        grad_norm=grad_norm,
+        bad_epochs=stopper.bad_epochs if stopper is not None else None,
+        best_score=(None if stopper is None or not np.isfinite(stopper.best_score)
+                    else float(stopper.best_score)),
+    )
+    telemetry.inc_counter("train.epochs")
+    if loss is not None:
+        telemetry.observe("train.loss", float(loss))
+    if valid_score is not None:
+        telemetry.observe("train.valid_score", float(valid_score))
+    if grad_norm is not None:
+        telemetry.observe("train.grad_norm", grad_norm)

@@ -26,6 +26,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from .. import telemetry
 from ..autodiff import functional as F
 from ..autodiff.tensor import Tensor, no_grad
 from ..datasets.splits import Split
@@ -36,7 +37,13 @@ from ..graph.partition import bfs_partition
 from ..models.decoupled import DecoupledModel, MiniBatchModel
 from ..nn.module import Module
 from ..runtime.device import DeviceModel, nbytes_of
-from .loop import EarlyStopper, RunResult, TrainConfig, build_optimizer
+from .loop import (
+    EarlyStopper,
+    RunResult,
+    TrainConfig,
+    build_optimizer,
+    record_epoch_telemetry,
+)
 from .metrics import evaluate
 
 
@@ -87,18 +94,24 @@ class FullBatchTrainer:
             for epoch in range(config.epochs):
                 model.train()
                 with profiler.stage("train", op_class="propagation"):
-                    with self.device.step():
-                        logits = model(graph, features)
-                        loss = _loss(logits[split.train], labels[split.train])
+                    with telemetry.span("epoch", index=epoch), self.device.step():
+                        with telemetry.span("forward"):
+                            logits = model(graph, features)
+                            loss = _loss(logits[split.train], labels[split.train])
                         model.zero_grad()
-                        loss.backward()
+                        with telemetry.span("backward"):
+                            loss.backward()
                         optimizer.step()
+                        loss_value = float(loss.data)
                 result.epochs_run = epoch + 1
+                score, stop = None, False
                 if (epoch + 1) % config.eval_every == 0:
                     score = self._evaluate(model, graph, features, split.valid,
                                             labels, config)
-                    if stopper.update(score, model):
-                        break
+                    stop = stopper.update(score, model)
+                record_epoch_telemetry(epoch, loss_value, score, stopper, model)
+                if stop:
+                    break
 
             stopper.restore(model)
             model.eval()
@@ -165,21 +178,31 @@ class MiniBatchTrainer:
             for epoch in range(config.epochs):
                 model.train()
                 rng.shuffle(train_index)
+                batch_losses = []
                 with profiler.stage("train", op_class="transform"):
-                    for start in range(0, len(train_index), config.batch_size):
-                        batch_index = train_index[start:start + config.batch_size]
-                        with self.device.step():
-                            batch = Tensor(channels[batch_index])
-                            logits = model(batch)
-                            loss = _loss(logits, labels[batch_index])
-                            model.zero_grad()
-                            loss.backward()
-                            optimizer.step()
+                    with telemetry.span("epoch", index=epoch):
+                        for start in range(0, len(train_index), config.batch_size):
+                            batch_index = train_index[start:start + config.batch_size]
+                            with self.device.step():
+                                batch = Tensor(channels[batch_index])
+                                with telemetry.span("forward"):
+                                    logits = model(batch)
+                                    loss = _loss(logits, labels[batch_index])
+                                model.zero_grad()
+                                with telemetry.span("backward"):
+                                    loss.backward()
+                                optimizer.step()
+                                batch_losses.append(float(loss.data))
                 result.epochs_run = epoch + 1
+                score, stop = None, False
                 if (epoch + 1) % config.eval_every == 0:
                     score = self._evaluate(model, channels, split.valid, labels, config)
-                    if stopper.update(score, model):
-                        break
+                    stop = stopper.update(score, model)
+                record_epoch_telemetry(
+                    epoch, float(np.mean(batch_losses)) if batch_losses else None,
+                    score, stopper, model)
+                if stop:
+                    break
 
             stopper.restore(model)
             all_nodes = np.arange(graph.num_nodes)
@@ -259,24 +282,34 @@ class GraphPartitionTrainer:
 
             for epoch in range(config.epochs):
                 model.train()
+                part_losses = []
                 with profiler.stage("train", op_class="propagation"):
-                    for part, subgraph in zip(parts, subgraphs):
-                        local_train = np.flatnonzero(train_mask[part])
-                        if local_train.size == 0:
-                            continue
-                        with self.device.step():
-                            logits = model(subgraph)
-                            loss = _loss(logits[local_train],
-                                         labels[part][local_train])
-                            model.zero_grad()
-                            loss.backward()
-                            optimizer.step()
+                    with telemetry.span("epoch", index=epoch):
+                        for part, subgraph in zip(parts, subgraphs):
+                            local_train = np.flatnonzero(train_mask[part])
+                            if local_train.size == 0:
+                                continue
+                            with self.device.step():
+                                with telemetry.span("forward"):
+                                    logits = model(subgraph)
+                                    loss = _loss(logits[local_train],
+                                                 labels[part][local_train])
+                                model.zero_grad()
+                                with telemetry.span("backward"):
+                                    loss.backward()
+                                optimizer.step()
+                                part_losses.append(float(loss.data))
                 result.epochs_run = epoch + 1
+                score, stop = None, False
                 if (epoch + 1) % config.eval_every == 0:
                     score = self._evaluate(model, parts, subgraphs, split.valid,
                                             labels, config)
-                    if stopper.update(score, model):
-                        break
+                    stop = stopper.update(score, model)
+                record_epoch_telemetry(
+                    epoch, float(np.mean(part_losses)) if part_losses else None,
+                    score, stopper, model)
+                if stop:
+                    break
 
             stopper.restore(model)
             with profiler.stage("inference", op_class="propagation"):

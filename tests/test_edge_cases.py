@@ -5,8 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.datasets import random_split, synthesize
-from repro.filters import FILTER_NAMES, make_filter
+from repro.datasets import synthesize
+from repro.filters import make_filter
 from repro.filters.base import PropagationContext
 from repro.graph import Graph
 from repro.tasks import run_node_classification

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.autodiff import Tensor, functional as F
+from repro.autodiff import functional as F
 from repro.autodiff.optim import Adam
 from repro.errors import TrainingError
 from repro.filters import make_filter

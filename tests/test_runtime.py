@@ -169,6 +169,45 @@ class TestStageProfiler:
     def test_missing_stage_seconds_zero(self):
         assert StageProfiler().seconds("nope") == 0.0
 
+    def test_merge_keeps_first_nondefault_op_class(self):
+        # Regression: merge used to clobber op_class with the incoming
+        # stage's default ("transform") even when ours was classified.
+        a, b = StageProfiler(), StageProfiler()
+        with a.stage("precompute", op_class="propagation"):
+            pass
+        b.record_ram("precompute", 42)  # never entered -> default op_class
+        a.merge(b)
+        assert a.stages["precompute"].op_class == "propagation"
+
+    def test_merge_adopts_incoming_classification(self):
+        a, b = StageProfiler(), StageProfiler()
+        a.record_ram("precompute", 1)  # default op_class
+        with b.stage("precompute", op_class="propagation"):
+            pass
+        a.merge(b)
+        assert a.stages["precompute"].op_class == "propagation"
+
+    def test_reset_clears_stages(self):
+        profiler = StageProfiler()
+        with profiler.stage("train"):
+            pass
+        profiler.record_ram("train", 100)
+        profiler.reset()
+        assert profiler.stages == {}
+        assert profiler.peak_ram_bytes() == 0
+        assert profiler.seconds("train") == 0.0
+
+    def test_zero_call_stage_seconds_per_call(self):
+        # record_ram creates the stage with zero calls; summary must not
+        # divide by zero or report NaN.
+        profiler = StageProfiler()
+        profiler.record_ram("inference", 10)
+        stats = profiler.stages["inference"]
+        assert stats.calls == 0
+        assert stats.seconds_per_call == 0.0
+        summary = profiler.summary()
+        assert summary["inference"]["seconds_per_call"] == 0.0
+
 
 class TestHardwareProfiles:
     def test_s2_speeds(self):

@@ -1,0 +1,398 @@
+"""Telemetry layer: spans, metrics, sinks, manifests, reports, wiring."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.autodiff import Tensor, spmm
+from repro.bench.io import load_jsonl, load_manifest, save_jsonl, save_rows
+from repro.datasets.synthesis import synthesize
+from repro.runtime.profiler import StageProfiler
+from repro.tasks.node_classification import run_node_classification
+from repro.telemetry.metrics import Histogram, MetricsRegistry
+from repro.training.loop import TrainConfig
+import scipy.sparse as sp
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    """Every test starts and ends with telemetry disabled."""
+    telemetry.shutdown()
+    yield
+    telemetry.shutdown()
+
+
+def spans_of(events):
+    return [e for e in events if e["type"] == "span"]
+
+
+class TestSpans:
+    def test_nesting_parent_links(self):
+        telemetry.configure()
+        with telemetry.span("outer"):
+            with telemetry.span("middle"):
+                with telemetry.span("inner"):
+                    pass
+        events = telemetry.shutdown()
+        spans = {e["name"]: e for e in spans_of(events)}
+        assert spans["inner"]["parent"] == spans["middle"]["id"]
+        assert spans["middle"]["parent"] == spans["outer"]["id"]
+        assert spans["outer"]["parent"] is None
+        assert (spans["outer"]["depth"], spans["middle"]["depth"],
+                spans["inner"]["depth"]) == (0, 1, 2)
+
+    def test_close_ordering_children_first(self):
+        telemetry.configure()
+        with telemetry.span("a"):
+            with telemetry.span("b"):
+                pass
+            with telemetry.span("c"):
+                pass
+        names = [e["name"] for e in spans_of(telemetry.shutdown())]
+        assert names == ["b", "c", "a"]
+
+    def test_durations_nest(self):
+        telemetry.configure()
+        with telemetry.span("outer"):
+            with telemetry.span("inner"):
+                pass
+        spans = {e["name"]: e for e in spans_of(telemetry.shutdown())}
+        assert spans["outer"]["duration_s"] >= spans["inner"]["duration_s"]
+
+    def test_sibling_spans_share_parent(self):
+        telemetry.configure()
+        with telemetry.span("root"):
+            for _ in range(3):
+                with telemetry.span("child"):
+                    pass
+        events = spans_of(telemetry.shutdown())
+        root = [e for e in events if e["name"] == "root"][0]
+        children = [e for e in events if e["name"] == "child"]
+        assert len(children) == 3
+        assert all(c["parent"] == root["id"] for c in children)
+
+    def test_attrs_and_error_marker(self):
+        telemetry.configure()
+        with pytest.raises(ValueError):
+            with telemetry.span("work", stage="x"):
+                raise ValueError("boom")
+        span = spans_of(telemetry.shutdown())[0]
+        assert span["attrs"]["stage"] == "x"
+        assert span["attrs"]["error"] == "ValueError"
+
+    def test_emit_event_tags_current_span(self):
+        telemetry.configure()
+        with telemetry.span("outer") as span:
+            telemetry.emit_event("custom", value=7)
+        events = telemetry.shutdown()
+        custom = [e for e in events if e["type"] == "custom"][0]
+        assert custom["span"] == span.span_id
+        assert custom["value"] == 7
+
+
+class TestDisabledMode:
+    def test_span_is_shared_noop_singleton(self):
+        assert telemetry.span("anything") is telemetry.NOOP_SPAN
+        assert telemetry.span("other", k=1) is telemetry.NOOP_SPAN
+
+    def test_noop_span_usable(self):
+        with telemetry.span("x") as s:
+            s.set(attr=1)
+
+    def test_free_functions_are_noops(self):
+        telemetry.emit_event("e", a=1)
+        telemetry.set_gauge("g", 2.0)
+        telemetry.inc_counter("c")
+        telemetry.observe("h", 3.0)
+        assert not telemetry.enabled()
+        assert telemetry.get_tracer() is None
+        assert telemetry.get_metrics() is None
+
+    def test_disabled_overhead_no_allocation_per_call(self):
+        # The disabled path must not build a new object per call.
+        ids = {id(telemetry.span("s")) for _ in range(100)}
+        assert len(ids) == 1
+
+
+class TestMetrics:
+    def test_counter_and_gauge(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc(5)
+        registry.gauge("g").set(3.0)
+        registry.gauge("g").set(1.0)
+        snap = registry.snapshot()
+        assert snap["counters"]["c"] == 6
+        assert snap["gauges"]["g"] == {"value": 1.0, "max": 3.0}
+
+    def test_histogram_quantiles_exact_small(self):
+        hist = Histogram("h")
+        for v in range(1, 101):  # 1..100
+            hist.observe(float(v))
+        assert hist.quantile(0.5) == pytest.approx(50.5)
+        assert hist.quantile(0.95) == pytest.approx(95.05, rel=0.01)
+        assert hist.max_value == 100.0
+        assert hist.mean == pytest.approx(50.5)
+
+    def test_histogram_decimation_bounds_memory(self):
+        hist = Histogram("h", max_samples=64)
+        for v in range(10_000):
+            hist.observe(float(v))
+        assert len(hist._samples) < 64
+        assert hist.count == 10_000
+        # Quantiles remain representative after decimation.
+        assert hist.quantile(0.5) == pytest.approx(5000, rel=0.15)
+        assert hist.summary()["max"] == 9999.0
+
+    def test_histogram_empty(self):
+        hist = Histogram("h")
+        assert hist.quantile(0.5) == 0.0
+        assert hist.summary()["count"] == 0
+
+
+class TestOpCounters:
+    def test_matmul_flops_counted(self):
+        telemetry.configure()
+        a = Tensor(np.ones((4, 8), dtype=np.float32))
+        b = Tensor(np.ones((8, 3), dtype=np.float32))
+        _ = a @ b
+        metrics = telemetry.get_metrics()
+        assert metrics.counter("ops.matmul.calls").value == 1
+        assert metrics.counter("ops.matmul.flops").value == 2 * 4 * 3 * 8
+        assert metrics.counter("ops.matmul.bytes").value == 4 * 3 * 4
+
+    def test_spmm_flops_counted(self):
+        telemetry.configure()
+        matrix = sp.random(16, 16, density=0.25, format="csr",
+                           random_state=0).astype(np.float32)
+        dense = Tensor(np.ones((16, 5), dtype=np.float32))
+        _ = spmm(matrix, dense)
+        metrics = telemetry.get_metrics()
+        assert metrics.counter("ops.spmm.calls").value == 1
+        assert metrics.counter("ops.spmm.flops").value == 2 * matrix.nnz * 5
+
+    def test_bytes_attributed_to_open_span(self):
+        telemetry.configure()
+        with telemetry.span("compute"):
+            a = Tensor(np.ones((4, 4), dtype=np.float32))
+            _ = a @ a
+        span = spans_of(telemetry.shutdown())[0]
+        assert span["alloc_bytes"] == 4 * 4 * 4
+
+    def test_hook_detached_after_shutdown(self):
+        telemetry.configure()
+        telemetry.shutdown()
+        from repro.autodiff import tensor as tensor_mod
+        assert tensor_mod._op_hook is None
+
+
+class TestJsonlRoundTrip:
+    def test_trace_round_trips_through_bench_io(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        telemetry.configure(trace_path=str(path))
+        with telemetry.span("outer", tag="t"):
+            telemetry.emit_event("epoch", epoch=0, loss=1.5)
+        in_memory = telemetry.shutdown()
+        reloaded = load_jsonl(path)
+        assert reloaded == in_memory
+
+    def test_save_load_jsonl(self, tmp_path):
+        records = [{"a": 1, "b": [1.5, 2.5]}, {"a": 2, "c": "x"}]
+        path = tmp_path / "events.jsonl"
+        save_jsonl(records, path)
+        assert load_jsonl(path) == records
+
+    def test_save_jsonl_numpy_safe(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        save_jsonl([{"v": np.float32(0.5), "n": np.int64(3)}], path)
+        loaded = load_jsonl(path)
+        assert loaded[0]["v"] == pytest.approx(0.5)
+        assert loaded[0]["n"] == 3
+
+
+class TestManifest:
+    def test_deterministic_across_runs(self):
+        config = TrainConfig(epochs=7, seed=3)
+        first = telemetry.build_manifest(config=config, seed=3,
+                                         extra={"experiment": "eff"})
+        second = telemetry.build_manifest(config=config, seed=3,
+                                          extra={"experiment": "eff"})
+        assert first == second
+        assert json.dumps(first, sort_keys=True) == json.dumps(second, sort_keys=True)
+
+    def test_contents(self):
+        manifest = telemetry.build_manifest(config={"lr": 0.1}, seed=1)
+        assert manifest["schema"].startswith("repro.telemetry.manifest/")
+        assert manifest["seed"] == 1
+        assert manifest["config"] == {"lr": 0.1}
+        assert manifest["platform"]["numpy"] == np.__version__
+        # Running inside this git repo, the SHA must resolve.
+        assert manifest["git_sha"] is None or len(manifest["git_sha"]) == 40
+
+    def test_write_read_round_trip(self, tmp_path):
+        manifest = telemetry.build_manifest(seed=0)
+        path = telemetry.write_manifest(tmp_path / "m.manifest.json", manifest)
+        assert telemetry.read_manifest(path) == manifest
+
+    def test_dataset_fingerprint_stable_and_sensitive(self):
+        g1 = synthesize("cora", scale=0.05, seed=0)
+        g2 = synthesize("cora", scale=0.05, seed=0)
+        g3 = synthesize("cora", scale=0.05, seed=1)
+        assert telemetry.dataset_fingerprint(g1) == telemetry.dataset_fingerprint(g2)
+        assert telemetry.dataset_fingerprint(g1) != telemetry.dataset_fingerprint(g3)
+
+    def test_sidecar_written_by_save_rows(self, tmp_path):
+        path = tmp_path / "rows.json"
+        save_rows([{"a": 1}], path, metadata={"experiment": "x"})
+        sidecar = load_manifest(path)
+        assert sidecar is not None
+        assert sidecar["metadata"] == {"experiment": "x"}
+        assert sidecar["num_rows"] == 1
+
+    def test_sidecar_suppressed(self, tmp_path):
+        path = tmp_path / "rows.json"
+        save_rows([{"a": 1}], path, manifest=False)
+        assert load_manifest(path) is None
+
+    def test_manifest_path_for(self):
+        assert str(telemetry.manifest_path_for("out/x.json")).endswith(
+            "x.manifest.json")
+
+
+class TestReport:
+    def test_sparkline_shape(self):
+        line = telemetry.sparkline([0, 1, 2, 3])
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_sparkline_flat_and_empty(self):
+        assert telemetry.sparkline([5, 5, 5]) == "▁▁▁"
+        assert telemetry.sparkline([]) == ""
+
+    def test_render_trace_report_sections(self):
+        telemetry.configure()
+        with telemetry.span("train"):
+            telemetry.emit_event("epoch", epoch=0, loss=2.0, valid_score=0.5)
+            telemetry.emit_event("epoch", epoch=1, loss=1.0, valid_score=0.7)
+        telemetry.inc_counter("ops.matmul.flops", 1000)
+        events = telemetry.shutdown()
+        report = telemetry.render_trace_report(events)
+        assert "top" in report and "train" in report
+        assert "loss" in report and "valid_score" in report
+        assert "ops.matmul.flops" in report
+
+    def test_report_empty_events(self):
+        report = telemetry.render_trace_report([])
+        assert "no spans" in report
+
+
+class TestTrainingIntegration:
+    @pytest.fixture(scope="class")
+    def traced_run(self):
+        telemetry.shutdown()
+        telemetry.configure()
+        graph = synthesize("cora", scale=0.05, seed=0)
+        result = run_node_classification(
+            graph, "ppr", scheme="mini_batch",
+            config=TrainConfig(epochs=3, patience=0, eval_every=1))
+        events = telemetry.shutdown()
+        return result, events
+
+    def test_stage_span_hierarchy(self, traced_run):
+        _, events = traced_run
+        spans = {e["id"]: e for e in spans_of(events)}
+        names = {e["name"] for e in spans.values()}
+        assert {"precompute", "train", "epoch", "forward", "backward"} <= names
+        forward = next(e for e in spans.values() if e["name"] == "forward")
+        chain = []
+        cursor = forward
+        while cursor is not None:
+            chain.append(cursor["name"])
+            cursor = spans.get(cursor["parent"])
+        assert chain[:3] == ["forward", "epoch", "train"]
+
+    def test_epoch_events_recorded(self, traced_run):
+        _, events = traced_run
+        epochs = [e for e in events if e["type"] == "epoch"]
+        assert len(epochs) == 3
+        assert all(e["loss"] is not None for e in epochs)
+        assert all(e["valid_score"] is not None for e in epochs)
+        assert all(e["grad_norm"] is not None and e["grad_norm"] > 0
+                   for e in epochs)
+        assert [e["epoch"] for e in epochs] == [0, 1, 2]
+
+    def test_op_counters_populated(self, traced_run):
+        _, events = traced_run
+        metrics_events = [e for e in events if e["type"] == "metrics"]
+        assert metrics_events
+        counters = metrics_events[-1]["metrics"]["counters"]
+        assert counters["ops.spmm.calls"] > 0
+        assert counters["ops.matmul.flops"] > 0
+        assert counters["train.epochs"] == 3
+
+    def test_profiler_view_matches_live_run(self, traced_run):
+        result, events = traced_run
+        view = StageProfiler.from_events(events)
+        live = result.profiler
+        for stage in ("precompute", "train", "inference"):
+            assert view.stages[stage].calls == live.stages[stage].calls
+            assert view.stages[stage].seconds == pytest.approx(
+                live.stages[stage].seconds, rel=0.2)
+        assert view.stages["train"].op_class == "transform"
+        assert view.stages["precompute"].op_class == "propagation"
+        assert view.peak_ram_bytes() == live.peak_ram_bytes()
+
+    def test_result_unaffected_by_tracing(self):
+        graph = synthesize("cora", scale=0.05, seed=0)
+        config = TrainConfig(epochs=3, patience=0, eval_every=1)
+        plain = run_node_classification(graph, "ppr", scheme="mini_batch",
+                                        config=config)
+        telemetry.configure()
+        traced = run_node_classification(graph, "ppr", scheme="mini_batch",
+                                         config=config)
+        telemetry.shutdown()
+        assert traced.test_score == pytest.approx(plain.test_score)
+        assert traced.epochs_run == plain.epochs_run
+
+
+class TestCli:
+    def test_trace_flag_writes_artifacts(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+
+        trace = tmp_path / "run.jsonl"
+        code = main(["efficiency", "--datasets", "cora", "--filters", "ppr",
+                     "--schemes", "mini_batch", "--epochs", "2",
+                     "--trace", str(trace)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "telemetry" in out and "per-epoch metrics" in out
+        events = load_jsonl(trace)
+        names = {e["name"] for e in events if e["type"] == "span"}
+        assert {"experiment", "precompute", "train", "epoch",
+                "forward", "backward"} <= names
+        manifest = telemetry.read_manifest(
+            telemetry.manifest_path_for(trace))
+        assert manifest["experiment"] == "efficiency"
+        assert manifest["config"]["epochs"] == 2
+
+    def test_no_telemetry_flag(self, capsys):
+        from repro.bench.__main__ import main
+
+        code = main(["efficiency", "--datasets", "cora", "--filters", "ppr",
+                     "--schemes", "mini_batch", "--epochs", "2",
+                     "--no-telemetry"])
+        assert code == 0
+        assert not telemetry.enabled()
+        assert "telemetry" not in capsys.readouterr().out
+
+    def test_parser_accepts_flags(self):
+        from repro.bench.__main__ import build_parser
+
+        args = build_parser().parse_args(
+            ["efficiency", "--trace", "t.jsonl", "--no-telemetry"])
+        assert args.trace == "t.jsonl"
+        assert args.no_telemetry
