@@ -23,6 +23,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..errors import AutodiffError
+from ..runtime import cache as _cache
 from .tensor import Tensor, _notify_alloc, _notify_op
 
 
@@ -51,9 +52,17 @@ def spmm(matrix: sp.spmatrix, dense: Tensor, backend: str = "csr") -> Tensor:
         csr_t: Optional[sp.csr_matrix] = None
 
         def backward(grad: np.ndarray):
+            # The sparse operand is constant, so its transpose is too: the
+            # process-wide cache materializes Pᵀ once per matrix instead of
+            # once per forward closure (cache.spmm_t.* counters show the
+            # traffic). With caching disabled the seed behaviour returns:
+            # one materialization per closure, memoized across multiple
+            # backward passes through the same node.
             nonlocal csr_t
+            if _cache.is_enabled():
+                return (_cache.transpose_csr(csr) @ grad,)
             if csr_t is None:
-                csr_t = csr.T.tocsr()
+                csr_t = _cache.materialize_transpose(csr)
             return (csr_t @ grad,)
 
         return Tensor._make(np.asarray(data), (dense,), backward, "spmm")

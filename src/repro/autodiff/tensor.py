@@ -68,6 +68,17 @@ def _notify_op(op: str, flops: int, nbytes: int) -> None:
         _op_hook(op, flops, nbytes)
 
 
+def _notify_ewise(data: np.ndarray) -> None:
+    """Meter one elementwise op: ~1 FLOP and one output write per element.
+
+    Routed through the same hook as matmul/spmm so elementwise arithmetic
+    (activations, filter combinations, cache-induced deltas) shows up in
+    ``ops.ewise.*`` instead of being invisible to FLOP accounting.
+    """
+    if _op_hook is not None:
+        _op_hook("ewise", data.size, data.nbytes)
+
+
 @contextmanager
 def no_grad() -> Iterator[None]:
     """Context manager disabling graph construction (inference mode)."""
@@ -311,6 +322,7 @@ class Tensor:
         other = self._coerce(other)
         a, b = self, other
         data = a.data + b.data
+        _notify_ewise(data)
 
         def backward(grad: np.ndarray):
             return (_unbroadcast(grad, a.shape), _unbroadcast(grad, b.shape))
@@ -323,6 +335,7 @@ class Tensor:
         other = self._coerce(other)
         a, b = self, other
         data = a.data - b.data
+        _notify_ewise(data)
 
         def backward(grad: np.ndarray):
             return (_unbroadcast(grad, a.shape), _unbroadcast(-grad, b.shape))
@@ -336,6 +349,7 @@ class Tensor:
         other = self._coerce(other)
         a, b = self, other
         data = a.data * b.data
+        _notify_ewise(data)
 
         def backward(grad: np.ndarray):
             return (
@@ -351,6 +365,7 @@ class Tensor:
         other = self._coerce(other)
         a, b = self, other
         data = a.data / b.data
+        _notify_ewise(data)
 
         def backward(grad: np.ndarray):
             return (
@@ -365,17 +380,20 @@ class Tensor:
 
     def __neg__(self) -> "Tensor":
         a = self
+        data = -a.data
+        _notify_ewise(data)
 
         def backward(grad: np.ndarray):
             return (-grad,)
 
-        return Tensor._make(-a.data, (a,), backward, "neg")
+        return Tensor._make(data, (a,), backward, "neg")
 
     def __pow__(self, exponent: float) -> "Tensor":
         if isinstance(exponent, Tensor):
             raise AutodiffError("tensor exponents are not supported; use exp/log")
         a = self
         data = a.data ** exponent
+        _notify_ewise(data)
 
         def backward(grad: np.ndarray):
             return (grad * exponent * a.data ** (exponent - 1),)
@@ -405,6 +423,7 @@ class Tensor:
     def exp(self) -> "Tensor":
         a = self
         data = np.exp(a.data)
+        _notify_ewise(data)
 
         def backward(grad: np.ndarray):
             return (grad * data,)
@@ -414,6 +433,7 @@ class Tensor:
     def log(self) -> "Tensor":
         a = self
         data = np.log(a.data)
+        _notify_ewise(data)
 
         def backward(grad: np.ndarray):
             return (grad / a.data,)
@@ -423,6 +443,7 @@ class Tensor:
     def sqrt(self) -> "Tensor":
         a = self
         data = np.sqrt(a.data)
+        _notify_ewise(data)
 
         def backward(grad: np.ndarray):
             return (grad * 0.5 / data,)
@@ -432,6 +453,7 @@ class Tensor:
     def abs(self) -> "Tensor":
         a = self
         data = np.abs(a.data)
+        _notify_ewise(data)
 
         def backward(grad: np.ndarray):
             return (grad * np.sign(a.data),)
@@ -441,6 +463,7 @@ class Tensor:
     def tanh(self) -> "Tensor":
         a = self
         data = np.tanh(a.data)
+        _notify_ewise(data)
 
         def backward(grad: np.ndarray):
             return (grad * (1.0 - data * data),)
@@ -455,6 +478,7 @@ class Tensor:
             1.0 / (1.0 + np.exp(-np.clip(a.data, -60, 60))),
             np.exp(np.clip(a.data, -60, 60)) / (1.0 + np.exp(np.clip(a.data, -60, 60))),
         )
+        _notify_ewise(data)
 
         def backward(grad: np.ndarray):
             return (grad * data * (1.0 - data),)
@@ -465,6 +489,7 @@ class Tensor:
         a = self
         mask = a.data > 0
         data = np.where(mask, a.data, 0.0)
+        _notify_ewise(data)
 
         def backward(grad: np.ndarray):
             return (grad * mask,)
@@ -474,6 +499,7 @@ class Tensor:
     def clip(self, low: float, high: float) -> "Tensor":
         a = self
         data = np.clip(a.data, low, high)
+        _notify_ewise(data)
         mask = (a.data >= low) & (a.data <= high)
 
         def backward(grad: np.ndarray):
@@ -624,6 +650,7 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     """Elementwise select; ``condition`` is a constant boolean array."""
     cond = np.asarray(condition, dtype=bool)
     data = np.where(cond, a.data, b.data)
+    _notify_ewise(data)
 
     def backward(grad: np.ndarray):
         return (

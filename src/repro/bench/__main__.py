@@ -13,6 +13,12 @@ metrics) by default. ``--trace PATH`` streams the events to a JSONL file,
 writes a run manifest next to it, and appends a trace report to the
 output; ``--no-telemetry`` disables collection entirely (the zero-overhead
 mode used for timing-sensitive comparisons).
+
+Caching: the sparse-compute cache layer (:mod:`repro.runtime.cache`) is on
+by default — spmm-backward transposes and per-graph normalized operators
+are memoized, with traffic on the ``cache.spmm_t.*`` / ``cache.norm_adj.*``
+counters. ``--no-cache`` bypasses every cache (the baseline mode used to
+measure the cache's own FLOP/byte delta with ``ops.spmm.*``).
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ import sys
 from typing import Dict
 
 from .. import telemetry
+from ..runtime import cache as runtime_cache
 from ..training.loop import TrainConfig
 from . import experiments
 from .report import render_run_telemetry, render_table
@@ -71,6 +78,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "write a run manifest next to it")
     parser.add_argument("--no-telemetry", action="store_true",
                         help="disable span/metric collection entirely")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the sparse-compute cache layer "
+                             "(spmm transpose + normalization memos)")
     return parser
 
 
@@ -121,12 +131,18 @@ def main(argv=None) -> int:
     telemetry_on = not args.no_telemetry
     if telemetry_on:
         telemetry.configure(trace_path=args.trace)
+    cache_was_enabled = runtime_cache.is_enabled()
+    if args.no_cache:
+        runtime_cache.set_enabled(False)
+        runtime_cache.clear_transpose_cache()
     try:
         with telemetry.span("experiment", experiment=args.experiment,
                             artifact=artifact):
             rows = runner(**kwargs)
     finally:
         events = telemetry.shutdown() if telemetry_on else []
+        if args.no_cache:
+            runtime_cache.set_enabled(cache_was_enabled)
 
     printable = [{k: v for k, v in row.items() if k != "embedding"}
                  for row in rows]
@@ -138,6 +154,7 @@ def main(argv=None) -> int:
             config=kwargs.get("config"),
             seed=(args.seeds[0] if args.seeds else None),
             extra={"experiment": args.experiment, "artifact": artifact,
+                   "cache": not args.no_cache,
                    "argv": list(argv) if argv is not None else sys.argv[1:]})
     if args.output:
         from .io import save_rows

@@ -91,6 +91,12 @@ class PropagationContext:
     @classmethod
     def for_graph(cls, graph: Graph, rho: float = 0.5, backend: str = "csr"
                   ) -> "PropagationContext":
+        """Context over the graph's memoized ``Ã`` for this ``ρ``.
+
+        Repeated contexts on the same graph (across filters, schemes, and
+        epochs) share one propagation matrix via the per-graph
+        normalization memo, and therefore one cached backward transpose.
+        """
         return cls(graph.normalized_adjacency(rho), backend=backend)
 
 

@@ -8,18 +8,24 @@ Notation follows the paper (Section 2.1):
   normalization coefficient ``ρ ∈ [0, 1]`` (ρ = 1/2 is the symmetric norm);
 - ``L̃``  — normalized Laplacian ``I − Ã``, whose eigenvalues live in [0, 2].
 
-Normalized operators are cached per ``(ρ, self_loops)`` because every filter
-re-uses the same propagation matrix across hops and epochs.
+Normalized operators are memoized per ``(operator, ρ, self_loops)`` through
+the instrumented LRU layer in :mod:`repro.runtime.cache` because every
+filter re-uses the same propagation matrix across hops, epochs, and
+(filter, scheme) sweep combinations. Memo traffic lands on the
+``cache.norm_adj.{hit,miss,evict}`` telemetry counters, and the memo is
+bypassed entirely while :func:`repro.runtime.cache.is_enabled` is false
+(the bench ``--no-cache`` mode).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
 import numpy as np
 import scipy.sparse as sp
 
 from ..errors import GraphError
+from ..runtime import cache as _cache
 
 
 class Graph:
@@ -53,7 +59,7 @@ class Graph:
             adjacency = adjacency.maximum(adjacency.T)
         self.adjacency: sp.csr_matrix = adjacency
         self.name = name
-        self._norm_cache: Dict[Tuple[float, bool], sp.csr_matrix] = {}
+        self._norm_memo = _cache.norm_memo()
 
         n = adjacency.shape[0]
         if features is not None:
@@ -141,10 +147,14 @@ class Graph:
         """
         if not 0.0 <= rho <= 1.0:
             raise GraphError(f"normalization coefficient must be in [0, 1], got {rho}")
-        key = (round(float(rho), 6), bool(self_loops))
-        cached = self._norm_cache.get(key)
-        if cached is not None:
-            return cached
+        key = ("adj", round(float(rho), 6), bool(self_loops))
+        if not _cache.is_enabled():
+            return self._build_normalized_adjacency(rho, self_loops)
+        return self._norm_memo.get_or_compute(
+            key, lambda: self._build_normalized_adjacency(rho, self_loops))
+
+    def _build_normalized_adjacency(self, rho: float,
+                                    self_loops: bool) -> sp.csr_matrix:
         if self_loops:
             adj = self.adjacency + sp.identity(self.num_nodes, format="csr", dtype=np.float32)
         else:
@@ -153,14 +163,23 @@ class Graph:
         degree = np.maximum(degree, 1e-12)
         left = sp.diags(degree ** (rho - 1.0))
         right = sp.diags(degree ** (-rho))
-        normalized = (left @ adj @ right).tocsr().astype(np.float32)
-        self._norm_cache[key] = normalized
-        return normalized
+        return (left @ adj @ right).tocsr().astype(np.float32)
 
     def laplacian(self, rho: float = 0.5, self_loops: bool = True) -> sp.csr_matrix:
-        """Return the normalized Laplacian ``L̃ = I − Ã``."""
+        """Return the normalized Laplacian ``L̃ = I − Ã`` (memoized)."""
+        key = ("lap", round(float(rho), 6), bool(self_loops))
+        if not _cache.is_enabled():
+            return self._build_laplacian(rho, self_loops)
+        return self._norm_memo.get_or_compute(
+            key, lambda: self._build_laplacian(rho, self_loops))
+
+    def _build_laplacian(self, rho: float, self_loops: bool) -> sp.csr_matrix:
         identity = sp.identity(self.num_nodes, format="csr", dtype=np.float32)
         return (identity - self.normalized_adjacency(rho, self_loops)).tocsr()
+
+    def norm_memo_stats(self) -> dict:
+        """Traffic/occupancy snapshot of this graph's normalization memo."""
+        return self._norm_memo.stats()
 
     # ------------------------------------------------------------------
     # structural utilities

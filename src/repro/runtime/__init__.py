@@ -1,5 +1,21 @@
-"""Execution-environment simulation: device memory, profiling, hardware."""
+"""Execution-environment simulation: device memory, profiling, hardware,
+and the instrumented sparse-compute cache layer."""
 
+from .cache import (
+    MISSING,
+    NORM_MEMO_ENTRIES,
+    TRANSPOSE_CACHE_ENTRIES,
+    LRUCache,
+    caches_disabled,
+    clear_transpose_cache,
+    is_enabled as cache_enabled,
+    matrix_token,
+    norm_memo,
+    set_enabled as set_cache_enabled,
+    transpose_build_count,
+    transpose_cache_stats,
+    transpose_csr,
+)
 from .device import GIBIBYTE, DeviceModel, nbytes_of
 from .hardware import PROFILES, S1, S2, HardwareProfile
 from .profiler import StageProfiler, StageStats
@@ -14,4 +30,18 @@ __all__ = [
     "S1",
     "S2",
     "PROFILES",
+    # cache layer
+    "LRUCache",
+    "MISSING",
+    "NORM_MEMO_ENTRIES",
+    "TRANSPOSE_CACHE_ENTRIES",
+    "cache_enabled",
+    "set_cache_enabled",
+    "caches_disabled",
+    "clear_transpose_cache",
+    "matrix_token",
+    "norm_memo",
+    "transpose_build_count",
+    "transpose_cache_stats",
+    "transpose_csr",
 ]

@@ -152,13 +152,16 @@ class MiniBatchTrainer:
         labels = graph.labels
         rng = config.rng()
         try:
-            # Stage 1: CPU precompute — graph ops happen exactly once.
+            # Stage 1: CPU precompute — graph ops happen exactly once. The
+            # propagation matrix is built here and reused for the RAM
+            # accounting below instead of re-deriving it just to size it.
             with profiler.stage("precompute", op_class="propagation"):
+                propagation = graph.normalized_adjacency(config.rho)
                 channels = filter_.precompute(
                     graph, graph.features, rho=config.rho, backend=config.backend)
             profiler.record_ram(
                 "precompute",
-                channels.nbytes + nbytes_of(graph.normalized_adjacency(config.rho)),
+                channels.nbytes + nbytes_of(propagation),
             )
 
             model = MiniBatchModel(

@@ -109,6 +109,41 @@ def test_backends_agree(small_graph, signal, name):
 
 
 @pytest.mark.parametrize("name", FILTER_NAMES)
+def test_precompute_identical_with_cache_on_and_off(small_graph, signal, name):
+    """The normalization memo + transpose cache never change channel bytes."""
+    from repro.runtime import cache
+
+    filter_ = make_filter(name, num_hops=4, num_features=signal.shape[1])
+    cached = filter_.precompute(small_graph, signal, rho=0.5)
+    with cache.caches_disabled():
+        plain = filter_.precompute(small_graph, signal, rho=0.5)
+    np.testing.assert_array_equal(cached, plain)
+
+
+def test_forward_gradients_identical_with_cache_on_and_off(small_graph, signal):
+    """One FB forward/backward: θ gradients match bitwise, cache on vs off."""
+    from repro.runtime import cache
+
+    filter_ = make_filter("chebyshev", num_hops=5,
+                          num_features=signal.shape[1])
+
+    def run():
+        theta = Tensor(filter_.default_coefficients().astype(np.float32),
+                       requires_grad=True)
+        ctx = PropagationContext.for_graph(small_graph, rho=0.5)
+        out = filter_.forward(ctx, Tensor(signal), {"theta": theta})
+        out.sum().backward()
+        return out.data, theta.grad
+
+    cache.clear_transpose_cache()
+    cached_out, cached_grad = run()
+    with cache.caches_disabled():
+        plain_out, plain_grad = run()
+    np.testing.assert_array_equal(cached_out, plain_out)
+    np.testing.assert_array_equal(cached_grad, plain_grad)
+
+
+@pytest.mark.parametrize("name", FILTER_NAMES)
 def test_response_finite_on_grid(name):
     filter_ = make_filter(name, num_hops=6, num_features=3)
     lams = np.linspace(0.0, 2.0, 41)

@@ -175,6 +175,26 @@ class TestOpCounters:
         assert metrics.counter("ops.spmm.calls").value == 1
         assert metrics.counter("ops.spmm.flops").value == 2 * matrix.nnz * 5
 
+    def test_elementwise_flops_counted(self):
+        """Elementwise ops feed the hook too: ~1 FLOP + one write per elem."""
+        telemetry.configure()
+        a = Tensor(np.ones((4, 8), dtype=np.float32))
+        b = Tensor(np.ones((4, 8), dtype=np.float32))
+        _ = a + b
+        _ = (a * b).relu()
+        metrics = telemetry.get_metrics()
+        assert metrics.counter("ops.ewise.calls").value == 3
+        assert metrics.counter("ops.ewise.flops").value == 3 * 4 * 8
+        assert metrics.counter("ops.ewise.bytes").value == 3 * 4 * 8 * 4
+
+    def test_elementwise_unary_ops_counted(self):
+        telemetry.configure()
+        a = Tensor(np.full((3, 3), 0.5, dtype=np.float32))
+        for op in (a.exp, a.log, a.sqrt, a.abs, a.tanh, a.sigmoid,
+                   a.__neg__, lambda: a.clip(0.0, 1.0), lambda: a ** 2.0):
+            op()
+        assert telemetry.get_metrics().counter("ops.ewise.calls").value == 9
+
     def test_bytes_attributed_to_open_span(self):
         telemetry.configure()
         with telemetry.span("compute"):

@@ -185,6 +185,52 @@ class TestOptimizerGroups:
         assert len(optimizer.groups) == 1
 
 
+class TestCacheInvisibility:
+    """The sparse-compute cache layer must not change training numerics."""
+
+    def _paired_runs(self, filter_name, scheme):
+        from repro.datasets import synthesize
+        from repro.runtime import cache
+
+        split = random_split(270, seed=1)
+        config = TrainConfig(epochs=2, patience=0, eval_every=1)
+        cache.clear_transpose_cache()
+        cached = run_node_classification(
+            synthesize("cora", scale=0.1, seed=3), filter_name,
+            scheme=scheme, config=config, split=split)
+        with cache.caches_disabled():
+            plain = run_node_classification(
+                synthesize("cora", scale=0.1, seed=3), filter_name,
+                scheme=scheme, config=config, split=split)
+        return cached, plain
+
+    @pytest.mark.parametrize("filter_name", ["ppr", "chebyshev"])
+    def test_full_batch_epoch_identical_on_and_off(self, filter_name):
+        cached, plain = self._paired_runs(filter_name, "full_batch")
+        assert cached.test_score == plain.test_score
+        assert cached.valid_score == plain.valid_score
+        np.testing.assert_array_equal(cached.predictions, plain.predictions)
+
+    @pytest.mark.parametrize("filter_name", ["ppr", "chebyshev"])
+    def test_mini_batch_epoch_identical_on_and_off(self, filter_name):
+        cached, plain = self._paired_runs(filter_name, "mini_batch")
+        assert cached.test_score == plain.test_score
+        assert cached.valid_score == plain.valid_score
+        np.testing.assert_array_equal(cached.predictions, plain.predictions)
+
+    def test_full_batch_transpose_built_once(self):
+        from repro.datasets import synthesize
+        from repro.runtime import cache
+
+        cache.clear_transpose_cache()
+        run_node_classification(
+            synthesize("cora", scale=0.1, seed=3), "ppr",
+            scheme="full_batch",
+            config=TrainConfig(epochs=4, patience=0, eval_every=10))
+        # one propagation matrix → at most one Pᵀ materialization
+        assert cache.transpose_build_count() <= 1
+
+
 class TestDeviceFactory:
     def test_unbounded(self):
         assert make_device(None).capacity_bytes is None
