@@ -1,0 +1,143 @@
+"""Regression-observatory smoke gate: the registry must *record* and *gate*.
+
+Runs the same small efficiency bench twice through the real CLI (so the
+full vertical is exercised: telemetry → trace → manifest → registry
+append), then checks the contract the run observatory
+(:mod:`repro.telemetry.registry` / :mod:`repro.telemetry.regression`)
+makes:
+
+- **recording**: both invocations appended a record to the registry under
+  the same config fingerprint — a silently-skipped append would make
+  every longitudinal comparison vacuous, so this is the canary.
+- **resolution**: ``python -m repro.bench compare --registry <config>``
+  resolves the two runs *by fingerprint* (no file paths) and exits 0.
+- **gate calibration**: the stock thresholds pass on the unmodified pair,
+  and fail when a synthetic 2× slowdown is injected into every stage of
+  the candidate — i.e. the gate is neither vacuous nor trigger-happy.
+
+The registry index, both traces, and the rendered trace diff + verdict
+tables are persisted under ``benchmarks/results/regress_smoke/`` so the
+``bench-regress`` CI job can upload them as workflow artifacts.
+"""
+
+from __future__ import annotations
+
+import copy
+import shutil
+
+from repro.bench.__main__ import main as bench_main
+from repro.bench.compare import compare_registry
+from repro.telemetry.regression import (
+    default_thresholds,
+    evaluate_pair,
+    passed,
+    render_verdict_table,
+)
+from repro.telemetry.registry import RunRegistry
+from repro.telemetry.report import render_run_diff
+from repro.telemetry.sinks import load_events
+
+from .conftest import RESULTS_DIR, emit, env_epochs, run_once
+
+EPOCHS_DEFAULT = 4
+REGRESS_DIR = RESULTS_DIR / "regress_smoke"
+
+
+def _one_cli_run(index: int, epochs: int) -> int:
+    return bench_main([
+        "efficiency", "--datasets", "cora", "--filters", "ppr",
+        "--schemes", "mini_batch", "--epochs", str(epochs),
+        "--registry-dir", str(REGRESS_DIR),
+        "--trace", str(REGRESS_DIR / f"run{index}.jsonl"),
+    ])
+
+
+def _regress_smoke(epochs: int) -> dict:
+    if REGRESS_DIR.exists():
+        shutil.rmtree(REGRESS_DIR)
+    exit_codes = [_one_cli_run(index, epochs) for index in (1, 2)]
+
+    registry = RunRegistry(REGRESS_DIR)
+    records = registry.load()
+    baseline, candidate, delta_rows = compare_registry(
+        records[-1].config_fingerprint, registry_dir=REGRESS_DIR)
+
+    compare_exit = bench_main([
+        "compare", "--registry", candidate.config_fingerprint,
+        "--registry-dir", str(REGRESS_DIR),
+    ])
+
+    thresholds = default_thresholds()
+    clean_verdicts = evaluate_pair(baseline, candidate, thresholds)
+
+    # Synthetic regression: a candidate that takes 2× the *baseline* time
+    # in every stage (+100% relative — comfortably past the 75% gate).
+    slowed = copy.deepcopy(candidate)
+    for name, stage in slowed.stages.items():
+        base_stage = baseline.stages.get(name, {})
+        for field in ("seconds", "self_seconds", "max_seconds"):
+            if field in stage and field in base_stage:
+                stage[field] = 2.0 * base_stage[field]
+    slowed_verdicts = evaluate_pair(baseline, slowed, thresholds)
+
+    return {
+        "exit_codes": exit_codes,
+        "compare_exit": compare_exit,
+        "entries": len(records),
+        "corrupt_lines": registry.corrupt_lines,
+        "fingerprints": registry.fingerprints(),
+        "baseline": baseline,
+        "candidate": candidate,
+        "delta_rows": delta_rows,
+        "clean_verdicts": clean_verdicts,
+        "slowed_verdicts": slowed_verdicts,
+    }
+
+
+def test_regress_smoke_gate(benchmark):
+    epochs = env_epochs(EPOCHS_DEFAULT)
+    report = run_once(benchmark, _regress_smoke, epochs)
+    baseline, candidate = report["baseline"], report["candidate"]
+
+    emit(report["delta_rows"],
+         title="registry diff: two most recent runs of one fingerprint")
+
+    # Persist the artifact bundle the CI job uploads.
+    trace_diff = render_run_diff(load_events(baseline.trace_path),
+                                 load_events(candidate.trace_path))
+    verdict_text = (render_verdict_table(report["clean_verdicts"])
+                    + "\n\n-- with synthetic 2x stage slowdown injected --\n"
+                    + render_verdict_table(report["slowed_verdicts"]))
+    (REGRESS_DIR / "trace_diff.txt").write_text(trace_diff + "\n")
+    (REGRESS_DIR / "verdicts.txt").write_text(verdict_text + "\n")
+    print()
+    print(trace_diff)
+    print()
+    print(verdict_text)
+
+    # --- recording: both CLI runs succeeded and were indexed together.
+    assert report["exit_codes"] == [0, 0]
+    assert report["entries"] == 2, \
+        "registry did not gain one entry per bench invocation"
+    assert report["corrupt_lines"] == 0
+    assert baseline.config_fingerprint == candidate.config_fingerprint
+    assert report["fingerprints"] == {candidate.config_fingerprint: 2}
+    assert baseline.run_id != candidate.run_id
+
+    # --- resolution: compare --registry works with no file-path argument.
+    assert report["compare_exit"] == 0
+    assert report["delta_rows"], "registry diff produced no delta rows"
+    assert any(r["metric"].startswith("stages.") for r in report["delta_rows"])
+
+    # --- gate calibration: clean pair passes, 2x slowdown fails.
+    assert passed(report["clean_verdicts"]), \
+        render_verdict_table(report["clean_verdicts"])
+    assert not passed(report["slowed_verdicts"]), \
+        "a synthetic 2x stage slowdown must trip the regression gate"
+    failed = [v for v in report["slowed_verdicts"] if v.failed]
+    assert all(v.metric.endswith(".seconds") for v in failed)
+
+    # The records carry enough observability surface to gate on: per-stage
+    # exclusive timings and the op counters (eig/spmm FLOPs included).
+    assert "self_seconds" in candidate.stages["train"]
+    assert candidate.metrics["counters"]["ops.spmm.flops"] > 0

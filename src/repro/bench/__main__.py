@@ -12,19 +12,33 @@ Observability: runs collect telemetry (spans, op counters, per-epoch
 metrics) by default. ``--trace PATH`` streams the events to a JSONL file,
 writes a run manifest next to it, and appends a trace report to the
 output; ``--no-telemetry`` disables collection entirely (the zero-overhead
-mode used for timing-sensitive comparisons).
+mode used for timing-sensitive comparisons). Every telemetry-enabled run
+is also indexed in the append-only run registry
+(:mod:`repro.telemetry.registry`; ``--no-registry`` skips it,
+``--registry-dir`` relocates it), which is what powers run history::
+
+    python -m repro.bench compare --registry <config-fingerprint>
+    python -m repro.bench compare --registry efficiency --gate
+    python -m repro.bench compare baseline.json candidate.json
+
+The first forms resolve the two most recent runs of a configuration from
+the registry — no file paths — and diff their stage timings, counters,
+and summaries; ``--gate`` additionally evaluates regression thresholds
+(:mod:`repro.telemetry.regression`) and exits non-zero on a failure.
 
 Caching: the sparse-compute cache layer (:mod:`repro.runtime.cache`) is on
-by default — spmm-backward transposes and per-graph normalized operators
-are memoized, with traffic on the ``cache.spmm_t.*`` / ``cache.norm_adj.*``
-counters. ``--no-cache`` bypasses every cache (the baseline mode used to
-measure the cache's own FLOP/byte delta with ``ops.spmm.*``).
+by default — spmm-backward transposes, per-graph normalized operators, and
+dense eigenpairs are memoized, with traffic on the ``cache.spmm_t.*`` /
+``cache.norm_adj.*`` / ``cache.eig.*`` counters. ``--no-cache`` bypasses
+every cache (the baseline mode used to measure the cache's own FLOP/byte
+delta with ``ops.spmm.*`` / ``ops.eig.*``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Dict
 
 from .. import telemetry
@@ -80,11 +94,129 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable span/metric collection entirely")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the sparse-compute cache layer "
-                             "(spmm transpose + normalization memos)")
+                             "(spmm transpose + normalization + eig memos)")
+    parser.add_argument("--registry-dir", type=str, default=None,
+                        metavar="DIR",
+                        help="run-registry directory (default: "
+                             "$REPRO_REGISTRY_DIR or "
+                             "benchmarks/results/registry)")
+    parser.add_argument("--no-registry", action="store_true",
+                        help="do not index this run in the run registry")
     return parser
 
 
+def build_compare_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench compare",
+        description="Diff two runs: saved result files, or the two most "
+                    "recent registry runs of one config fingerprint.")
+    parser.add_argument("paths", nargs="*", metavar="RESULT.json",
+                        help="baseline and candidate result files "
+                             "(omit both when using --registry)")
+    parser.add_argument("--registry", type=str, default=None, metavar="SPEC",
+                        help="resolve baseline/candidate from the run "
+                             "registry by config fingerprint (prefix) or "
+                             "experiment name")
+    parser.add_argument("--registry-dir", type=str, default=None,
+                        metavar="DIR",
+                        help="run-registry directory (default: "
+                             "$REPRO_REGISTRY_DIR or "
+                             "benchmarks/results/registry)")
+    parser.add_argument("--tolerance", type=float, default=0.05,
+                        help="relative regression tolerance for file mode")
+    parser.add_argument("--gate", action="store_true",
+                        help="evaluate regression thresholds and exit "
+                             "non-zero on any failure")
+    parser.add_argument("--thresholds", type=str, default=None,
+                        metavar="FILE",
+                        help="JSON threshold file (default: stock stage "
+                             "time/RAM thresholds)")
+    return parser
+
+
+def compare_main(argv) -> int:
+    """``python -m repro.bench compare ...`` — file or registry mode."""
+    parser = build_compare_parser()
+    args = parser.parse_args(argv)
+
+    if args.registry is not None:
+        if args.paths:
+            parser.error("--registry takes no file paths")
+        return _compare_registry(args)
+    if len(args.paths) != 2:
+        parser.error("file mode needs exactly BASELINE and CANDIDATE paths "
+                     "(or use --registry SPEC)")
+    return _compare_files(args)
+
+
+def _compare_files(args) -> int:
+    from .compare import compare_files
+
+    comparison = compare_files(args.paths[0], args.paths[1])
+    print(render_table(comparison.summary_rows(),
+                       title=f"compare: {args.paths[0]} -> {args.paths[1]} "
+                             f"({comparison.matched} rows matched)"))
+    regressions = comparison.regressions(args.tolerance)
+    for delta in regressions:
+        print(f"REGRESSION {'/'.join(map(str, delta.key))} {delta.metric}: "
+              f"{delta.baseline:g} -> {delta.candidate:g} "
+              f"({delta.relative:+.1%})")
+    if comparison.baseline_only:
+        print(f"baseline-only rows: {len(comparison.baseline_only)}")
+    if comparison.candidate_only:
+        print(f"candidate-only rows: {len(comparison.candidate_only)}")
+    if regressions:
+        print(f"{len(regressions)} regression(s) beyond "
+              f"{args.tolerance:.0%} tolerance")
+        return 1 if args.gate else 0
+    return 0
+
+
+def _compare_registry(args) -> int:
+    from ..errors import ReproError
+    from ..telemetry.regression import (evaluate_pair, load_thresholds,
+                                        render_verdict_table)
+    from ..telemetry.report import render_run_diff
+    from ..telemetry.sinks import load_events
+    from .compare import compare_registry
+
+    try:
+        baseline, candidate, rows = compare_registry(
+            args.registry, registry_dir=args.registry_dir)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    print(f"config {candidate.config_fingerprint}  "
+          f"baseline run {baseline.run_id} "
+          f"(git {baseline.git_sha or '?'})  ->  "
+          f"candidate run {candidate.run_id} "
+          f"(git {candidate.git_sha or '?'})")
+    print(render_table(
+        rows, title=f"registry diff: {args.registry} "
+                    f"(2 most recent of {candidate.config_fingerprint})"))
+
+    trace_paths = (baseline.trace_path, candidate.trace_path)
+    if all(p and Path(p).exists() for p in trace_paths):
+        print()
+        print(render_run_diff(load_events(trace_paths[0]),
+                              load_events(trace_paths[1])))
+
+    if args.gate or args.thresholds:
+        thresholds = load_thresholds(args.thresholds) \
+            if args.thresholds else None
+        verdicts = evaluate_pair(baseline, candidate, thresholds)
+        print()
+        print(render_verdict_table(verdicts))
+        if args.gate and any(v.failed for v in verdicts):
+            return 1
+    return 0
+
+
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv[:1] == ["compare"]:
+        return compare_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -133,8 +265,11 @@ def main(argv=None) -> int:
         telemetry.configure(trace_path=args.trace)
     cache_was_enabled = runtime_cache.is_enabled()
     if args.no_cache:
+        from ..spectral.decomposition import clear_eig_cache
+
         runtime_cache.set_enabled(False)
         runtime_cache.clear_transpose_cache()
+        clear_eig_cache()
     try:
         with telemetry.span("experiment", experiment=args.experiment,
                             artifact=artifact):
@@ -154,8 +289,7 @@ def main(argv=None) -> int:
             config=kwargs.get("config"),
             seed=(args.seeds[0] if args.seeds else None),
             extra={"experiment": args.experiment, "artifact": artifact,
-                   "cache": not args.no_cache,
-                   "argv": list(argv) if argv is not None else sys.argv[1:]})
+                   "cache": not args.no_cache, "argv": argv})
     if args.output:
         from .io import save_rows
 
@@ -169,6 +303,16 @@ def main(argv=None) -> int:
         telemetry.write_manifest(manifest_path, run_manifest)
         print(f"trace: {args.trace}  manifest: {manifest_path}")
         print(render_run_telemetry(events))
+    if run_manifest is not None and not args.no_registry:
+        from .io import summarize_rows
+
+        record = telemetry.record_run(
+            run_manifest, events=events, summary=summarize_rows(printable),
+            trace_path=args.trace, result_path=args.output,
+            registry_dir=args.registry_dir)
+        registry_path = telemetry.default_registry_dir(args.registry_dir)
+        print(f"registry: {registry_path}  "
+              f"config={record.config_fingerprint}  run={record.run_id}")
     return 0
 
 

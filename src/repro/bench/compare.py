@@ -1,9 +1,17 @@
 """Comparing experiment runs: regression tracking for benchmark sweeps.
 
-Given two saved experiment files (``bench.io.save_rows`` output — e.g. a
-baseline run on main and a candidate run on a branch), align their rows on
-key columns and report per-metric deltas, flagging regressions beyond a
-tolerance. Used to keep reproduction results stable as the library evolves.
+Two comparison modes:
+
+- **File mode** (:func:`compare_files`): given two saved experiment files
+  (``bench.io.save_rows`` output — e.g. a baseline run on main and a
+  candidate run on a branch), align their rows on key columns and report
+  per-metric deltas, flagging regressions beyond a tolerance.
+- **Registry mode** (:func:`compare_registry`): no file paths at all —
+  resolve the two most recent runs of a config fingerprint from the run
+  registry (:mod:`repro.telemetry.registry`) and diff their stage
+  timings, op counters, and result summaries. This is what ``python -m
+  repro.bench compare --registry <config>`` runs, and what makes
+  efficiency claims trackable longitudinally across commits.
 """
 
 from __future__ import annotations
@@ -144,6 +152,69 @@ def compare_files(baseline_path, candidate_path, **kwargs) -> Comparison:
 
     return compare_rows(load_rows(baseline_path), load_rows(candidate_path),
                         **kwargs)
+
+
+#: Per-stage fields diffed by the registry comparison (inclusive time,
+#: exclusive time, and host RAM growth, matching the paper's stage view).
+REGISTRY_STAGE_FIELDS = ("seconds", "self_seconds", "ram_delta_bytes")
+
+
+def registry_delta_rows(baseline, candidate,
+                        stage_fields: Sequence[str] = REGISTRY_STAGE_FIELDS,
+                        ) -> List[Dict]:
+    """Long-form delta rows between two registry run records.
+
+    One row per (stage × field), changed counter, and summary column:
+    ``{"metric", "baseline", "candidate", "delta", "rel"}`` — ready for
+    :func:`repro.bench.render_table`.
+    """
+    rows: List[Dict] = []
+
+    def add(metric: str, base, cand) -> None:
+        if not _is_number(base) or not _is_number(cand):
+            return
+        base, cand = float(base), float(cand)
+        if base:
+            rel = (cand - base) / abs(base)
+        else:
+            rel = 0.0 if cand == base else np.inf
+        rows.append({"metric": metric, "baseline": base, "candidate": cand,
+                     "delta": cand - base, "rel": rel})
+
+    for stage in sorted(set(baseline.stages) | set(candidate.stages)):
+        base_entry = baseline.stages.get(stage, {})
+        cand_entry = candidate.stages.get(stage, {})
+        for field_name in stage_fields:
+            add(f"stages.{stage}.{field_name}",
+                base_entry.get(field_name), cand_entry.get(field_name))
+
+    base_counters = (baseline.metrics or {}).get("counters") or {}
+    cand_counters = (candidate.metrics or {}).get("counters") or {}
+    for name in sorted(set(base_counters) | set(cand_counters)):
+        base_v, cand_v = base_counters.get(name, 0), cand_counters.get(name, 0)
+        if base_v != cand_v:
+            add(f"counters.{name}", base_v, cand_v)
+
+    for name in sorted(set(baseline.summary or {}) | set(candidate.summary or {})):
+        add(f"summary.{name}", (baseline.summary or {}).get(name),
+            (candidate.summary or {}).get(name))
+    return rows
+
+
+def compare_registry(spec: str, registry_dir=None,
+                     stage_fields: Sequence[str] = REGISTRY_STAGE_FIELDS):
+    """Resolve + diff the two most recent runs of one config fingerprint.
+
+    Returns ``(baseline_record, candidate_record, delta_rows)``; raises
+    :class:`~repro.errors.ReproError` when the registry holds fewer than
+    two runs matching ``spec`` (a fingerprint prefix or experiment name).
+    """
+    from ..telemetry.registry import RunRegistry
+
+    registry = RunRegistry(registry_dir)
+    baseline, candidate = registry.resolve_pair(spec)
+    return baseline, candidate, registry_delta_rows(
+        baseline, candidate, stage_fields=stage_fields)
 
 
 def _is_number(value) -> bool:

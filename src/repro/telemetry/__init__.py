@@ -12,7 +12,12 @@ It provides three connected layers:
   per-epoch hooks in :mod:`repro.training` (loss, score, grad norm).
 - **Artifacts** (:mod:`.sinks`, :mod:`.manifest`, :mod:`.report`): a JSONL
   trace file, a deterministic run manifest written next to every result
-  file, and a terminal report (top spans, per-epoch sparklines).
+  file, and a terminal report (top spans with inclusive *and* exclusive
+  cost, per-epoch sparklines, cross-run trace diffs).
+- **History** (:mod:`.registry`, :mod:`.regression`): an append-only run
+  registry indexing every bench invocation by config fingerprint, with
+  query APIs (``latest`` / ``by_config`` / ``history``) and declarative
+  regression thresholds gating CI on runtime/memory drift.
 
 Module-level usage — the pattern every instrumented call site follows::
 
@@ -47,9 +52,31 @@ from .manifest import (
     write_manifest,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .registry import (
+    RunRecord,
+    RunRegistry,
+    build_record,
+    config_fingerprint,
+    default_registry_dir,
+    metric_value,
+    record_run,
+)
+from .regression import (
+    Threshold,
+    Verdict,
+    default_thresholds,
+    evaluate_pair,
+    evaluate_registry,
+    load_thresholds,
+    render_verdict_table,
+    save_thresholds,
+)
 from .report import (
+    aggregate_spans,
+    final_metrics,
     render_counters,
     render_epoch_table,
+    render_run_diff,
     render_top_spans,
     render_trace_report,
     sparkline,
@@ -204,7 +231,27 @@ __all__ = [
     "render_top_spans",
     "render_epoch_table",
     "render_counters",
+    "render_run_diff",
+    "aggregate_spans",
+    "final_metrics",
     "sparkline",
+    # run registry
+    "RunRecord",
+    "RunRegistry",
+    "build_record",
+    "config_fingerprint",
+    "default_registry_dir",
+    "metric_value",
+    "record_run",
+    # regression gates
+    "Threshold",
+    "Verdict",
+    "default_thresholds",
+    "evaluate_pair",
+    "evaluate_registry",
+    "load_thresholds",
+    "save_thresholds",
+    "render_verdict_table",
     # hooks
     "install_op_hooks",
     "uninstall_op_hooks",

@@ -15,7 +15,7 @@ without unbounded memory and without randomness (reproducible traces).
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 
 class Counter:
@@ -119,6 +119,72 @@ class Histogram:
             "max": self.max_value if self.count else 0.0,
         }
 
+    def _weighted_samples(self) -> List[Tuple[float, float]]:
+        """Kept samples with their decimation weight (the current stride)."""
+        with self._lock:
+            return [(value, float(self._stride)) for value in self._samples]
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Combine two streaming histograms (t-digest-style, deterministic).
+
+        Exact fields (count, total/mean, min, max) add exactly. The sample
+        reservoirs are combined as *weighted* points — each kept sample
+        stands for ``stride`` observations — sorted by value and compressed
+        into equal-mass centroids (weighted bucket means) so the result
+        fits the reservoir bound again; the endpoints are then pinned to
+        the exactly-tracked min/max so extreme quantiles stay exact even
+        when decimation dropped the extreme observations. The procedure
+        has no randomness and sorts by value, so ``a.merge(b)`` and
+        ``b.merge(a)`` produce identical summaries — the property
+        multi-process runs rely on to combine shards in any arrival order.
+        """
+        merged = Histogram(self.name,
+                           max_samples=max(self.max_samples,
+                                           other.max_samples))
+        merged.count = self.count + other.count
+        merged.total = self.total + other.total
+        merged.min_value = min(self.min_value, other.min_value)
+        merged.max_value = max(self.max_value, other.max_value)
+
+        weighted = sorted(self._weighted_samples()
+                          + other._weighted_samples())
+        if not weighted:
+            return merged
+        # Future observes keep decimating sensibly from the merged state.
+        merged._stride = max(self._stride, other._stride)
+        capacity = merged.max_samples - 1
+        if len(weighted) <= capacity:
+            merged._samples = merged._pin_extremes(
+                [value for value, _ in weighted])
+            return merged
+        # Equal-mass compression: walk the sorted weighted points, cutting
+        # a centroid every total/capacity of mass (t-digest with a uniform
+        # scale function), then pin the endpoints so extreme quantiles
+        # still reach the kept extremes.
+        total_weight = sum(weight for _, weight in weighted)
+        mass_per_centroid = total_weight / capacity
+        centroids: List[float] = []
+        bucket_weight = 0.0
+        bucket_sum = 0.0
+        for value, weight in weighted:
+            bucket_weight += weight
+            bucket_sum += value * weight
+            if bucket_weight >= mass_per_centroid:
+                centroids.append(bucket_sum / bucket_weight)
+                bucket_weight = 0.0
+                bucket_sum = 0.0
+        if bucket_weight > 0:
+            centroids.append(bucket_sum / bucket_weight)
+        merged._samples = merged._pin_extremes(centroids)
+        return merged
+
+    def _pin_extremes(self, samples: List[float]) -> List[float]:
+        """Clamp a sorted sample list's endpoints to the exact min/max."""
+        if len(samples) >= 2:
+            samples[0] = self.min_value
+            samples[-1] = self.max_value
+        return samples
+
 
 class MetricsRegistry:
     """Get-or-create registry of named counters, gauges, and histograms."""
@@ -152,6 +218,29 @@ class MetricsRegistry:
 
     def get_counter(self, name: str) -> Optional[Counter]:
         return self._counters.get(name)
+
+    def merge_from(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry (e.g. a worker process's) into this one.
+
+        Counters add, gauges keep the other shard's last value and the max
+        of both peaks, histograms combine via :meth:`Histogram.merge`.
+        Returns ``self`` for chaining over many shards.
+        """
+        for name, counter in sorted(other._counters.items()):
+            self.counter(name).inc(counter.value)
+        for name, gauge in sorted(other._gauges.items()):
+            ours = self.gauge(name)
+            if gauge.max_value > ours.max_value:
+                ours.set(gauge.max_value)
+            ours.set(gauge.value)
+        for name, histogram in sorted(other._histograms.items()):
+            with self._lock:
+                mine = self._histograms.get(name)
+                if mine is None:
+                    mine = self._histograms[name] = Histogram(
+                        name, histogram.max_samples)
+                self._histograms[name] = mine.merge(histogram)
+        return self
 
     def snapshot(self) -> Dict[str, Dict]:
         """Plain-dict view of every metric, ready for JSON serialization."""

@@ -1,0 +1,253 @@
+"""Declarative regression gates over run-registry history.
+
+The registry (:mod:`repro.telemetry.registry`) remembers what every bench
+run cost; this module decides whether the latest run is *allowed* to cost
+that much. A :class:`Threshold` declares one rule against a dotted metric
+path in a run record — maximum relative slowdown of a stage, maximum RAM
+growth, a floor on accuracy — and :func:`evaluate_pair` applies a list of
+them to a (baseline, candidate) record pair, producing :class:`Verdict`
+rows that render as the CI gate table (``bench-regress`` job).
+
+Metric paths support one ``*`` wildcard segment so a single rule covers
+every stage::
+
+    Threshold("stages.*.seconds", max_rel_increase=0.75, ignore_below=0.02)
+    Threshold("stages.*.ram_delta_bytes", max_rel_increase=0.5,
+              ignore_below=64 * 2**20)
+    Threshold("summary.mean", min_value=0.6)
+
+Thresholds are plain data and round-trip through JSON
+(:func:`load_thresholds` / :func:`save_thresholds`), which is how
+EXPERIMENTS.md pins per-figure gates next to the benchmarks they protect.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from .registry import RunRecord, RunRegistry, metric_value
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class Threshold:
+    """One declarative rule against a run-record metric.
+
+    Parameters
+    ----------
+    metric:
+        Dotted path into a :class:`RunRecord` (``stages.train.seconds``,
+        ``metrics.counters.ops.eig.flops``, ``summary.mean``); one path
+        segment may be ``*`` to fan the rule out over every key there.
+    max_rel_increase:
+        Candidate may exceed baseline by at most this fraction
+        (``0.75`` = +75 %). Lower-is-better semantics.
+    max_abs_increase:
+        Candidate may exceed baseline by at most this absolute amount.
+    min_value / max_value:
+        Absolute bounds on the candidate value alone (no baseline needed)
+        — e.g. an accuracy floor.
+    ignore_below:
+        Skip the rule when the *baseline* value is under this magnitude;
+        the noise guard for millisecond-scale stages.
+    """
+
+    metric: str
+    max_rel_increase: Optional[float] = None
+    max_abs_increase: Optional[float] = None
+    min_value: Optional[float] = None
+    max_value: Optional[float] = None
+    ignore_below: float = 0.0
+
+    def to_dict(self) -> Dict:
+        return {k: v for k, v in dataclasses.asdict(self).items()
+                if v is not None and not (k == "ignore_below" and v == 0.0)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Threshold":
+        known = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+@dataclass
+class Verdict:
+    """Outcome of one expanded threshold on one metric."""
+
+    metric: str
+    status: str                     # "pass" | "fail" | "skip"
+    baseline: Optional[float]
+    candidate: Optional[float]
+    limit: str
+    reason: str
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "fail"
+
+
+def default_thresholds() -> List[Threshold]:
+    """The stock efficiency gate: stage slowdown + per-stage RAM growth.
+
+    Stage wall time may grow ≤ 75 % (smoke runs are noisy; a genuine 2×
+    slowdown still trips it) and is only judged on stages that took at
+    least 20 ms at baseline. Per-stage RAM growth may grow ≤ 50 % once it
+    exceeds 64 MiB.
+    """
+    return [
+        Threshold("stages.*.seconds", max_rel_increase=0.75,
+                  ignore_below=0.02),
+        Threshold("stages.*.ram_delta_bytes", max_rel_increase=0.5,
+                  ignore_below=64 * 2 ** 20),
+    ]
+
+
+def _expand(threshold: Threshold, baseline: RunRecord, candidate: RunRecord
+            ) -> List[str]:
+    """Concrete metric paths for a (possibly wildcarded) threshold."""
+    parts = threshold.metric.split("*")
+    if len(parts) == 1:
+        return [threshold.metric]
+    if len(parts) != 2:
+        raise ValueError(f"at most one '*' per metric path: {threshold.metric!r}")
+    prefix = parts[0].rstrip(".")
+    suffix = parts[1].lstrip(".")
+    keys = set()
+    for record in (baseline, candidate):
+        node = metric_value(record, prefix) if prefix else record.to_dict()
+        if isinstance(node, Mapping):
+            keys.update(str(k) for k in node)
+    paths = []
+    for key in sorted(keys):
+        pieces = [p for p in (prefix, key, suffix) if p]
+        paths.append(".".join(pieces))
+    return paths
+
+
+def _check_one(threshold: Threshold, path: str,
+               baseline: RunRecord, candidate: RunRecord) -> Verdict:
+    base = metric_value(baseline, path)
+    cand = metric_value(candidate, path)
+    base = float(base) if isinstance(base, (int, float)) \
+        and not isinstance(base, bool) else None
+    cand = float(cand) if isinstance(cand, (int, float)) \
+        and not isinstance(cand, bool) else None
+
+    limits = []
+    if threshold.max_rel_increase is not None:
+        limits.append(f"+{threshold.max_rel_increase:.0%} rel")
+    if threshold.max_abs_increase is not None:
+        limits.append(f"+{threshold.max_abs_increase:g} abs")
+    if threshold.min_value is not None:
+        limits.append(f">={threshold.min_value:g}")
+    if threshold.max_value is not None:
+        limits.append(f"<={threshold.max_value:g}")
+    limit = ", ".join(limits) or "(none)"
+
+    if cand is None:
+        return Verdict(path, "skip", base, cand, limit,
+                       "metric absent in candidate")
+
+    # Absolute bounds need no baseline.
+    if threshold.min_value is not None and cand < threshold.min_value:
+        return Verdict(path, "fail", base, cand, limit,
+                       f"{cand:g} < floor {threshold.min_value:g}")
+    if threshold.max_value is not None and cand > threshold.max_value:
+        return Verdict(path, "fail", base, cand, limit,
+                       f"{cand:g} > ceiling {threshold.max_value:g}")
+
+    relative_rules = (threshold.max_rel_increase is not None
+                      or threshold.max_abs_increase is not None)
+    if relative_rules:
+        if base is None:
+            return Verdict(path, "skip", base, cand, limit,
+                           "metric absent in baseline")
+        if abs(base) < threshold.ignore_below:
+            return Verdict(path, "skip", base, cand, limit,
+                           f"baseline {base:g} under noise floor "
+                           f"{threshold.ignore_below:g}")
+        increase = cand - base
+        if threshold.max_abs_increase is not None \
+                and increase > threshold.max_abs_increase:
+            return Verdict(path, "fail", base, cand, limit,
+                           f"+{increase:g} > +{threshold.max_abs_increase:g}")
+        if threshold.max_rel_increase is not None and base > 0:
+            rel = increase / base
+            if rel > threshold.max_rel_increase:
+                return Verdict(path, "fail", base, cand, limit,
+                               f"+{rel:.0%} > +{threshold.max_rel_increase:.0%}")
+    return Verdict(path, "pass", base, cand, limit, "")
+
+
+def evaluate_pair(baseline: RunRecord, candidate: RunRecord,
+                  thresholds: Optional[Sequence[Threshold]] = None,
+                  ) -> List[Verdict]:
+    """Apply thresholds to a (baseline, candidate) record pair."""
+    thresholds = list(thresholds) if thresholds is not None \
+        else default_thresholds()
+    verdicts: List[Verdict] = []
+    for threshold in thresholds:
+        for path in _expand(threshold, baseline, candidate):
+            verdicts.append(_check_one(threshold, path, baseline, candidate))
+    return verdicts
+
+
+def evaluate_registry(spec: str,
+                      thresholds: Optional[Sequence[Threshold]] = None,
+                      registry_dir: Optional[PathLike] = None,
+                      ) -> Tuple[List[Verdict], RunRecord, RunRecord]:
+    """Gate the two most recent registry runs matching ``spec``."""
+    registry = RunRegistry(registry_dir)
+    baseline, candidate = registry.resolve_pair(spec)
+    return evaluate_pair(baseline, candidate, thresholds), baseline, candidate
+
+
+def passed(verdicts: Sequence[Verdict]) -> bool:
+    """True when no verdict failed (skips do not fail the gate)."""
+    return not any(v.failed for v in verdicts)
+
+
+def render_verdict_table(verdicts: Sequence[Verdict]) -> str:
+    """The gate table: one row per checked metric, FAIL rows first."""
+    from .report import _table
+
+    if not verdicts:
+        return "-- regression verdicts --\n(no thresholds evaluated)"
+    order = {"fail": 0, "pass": 1, "skip": 2}
+    ranked = sorted(verdicts, key=lambda v: (order.get(v.status, 3), v.metric))
+    rows = []
+    for verdict in ranked:
+        rows.append([
+            verdict.status.upper(),
+            verdict.metric,
+            "-" if verdict.baseline is None else f"{verdict.baseline:.6g}",
+            "-" if verdict.candidate is None else f"{verdict.candidate:.6g}",
+            verdict.limit,
+            verdict.reason,
+        ])
+    failures = sum(1 for v in verdicts if v.failed)
+    title = ("regression verdicts: "
+             + (f"{failures} FAILURE(S)" if failures else "all clear"))
+    return _table(["verdict", "metric", "baseline", "candidate", "limit",
+                   "reason"], rows, title)
+
+
+def load_thresholds(path: PathLike) -> List[Threshold]:
+    """Read a JSON threshold list (the EXPERIMENTS.md pinning format)."""
+    payload = json.loads(Path(path).read_text())
+    if isinstance(payload, Mapping):
+        payload = payload.get("thresholds", [])
+    return [Threshold.from_dict(item) for item in payload]
+
+
+def save_thresholds(thresholds: Sequence[Threshold], path: PathLike) -> Path:
+    """Write thresholds as JSON, round-trippable by :func:`load_thresholds`."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"thresholds": [t.to_dict() for t in thresholds]}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -60,30 +60,60 @@ def _format_bytes(nbytes: float) -> str:
 
 
 def aggregate_spans(events: Iterable[Mapping]) -> Dict[str, Dict]:
-    """Fold span events into per-name totals (calls, seconds, bytes)."""
-    stats: Dict[str, Dict] = {}
-    for event in events:
-        if event.get("type") != "span":
+    """Fold span events into per-name totals, inclusive *and* exclusive.
+
+    Inclusive values (``seconds``, ``alloc_bytes``) count everything that
+    happened while a span was open, children included — the tracer
+    attributes allocation to every open span. The exclusive view
+    (``self_seconds``, ``self_alloc_bytes``) subtracts each span's direct
+    children, attributing cost to the span that actually incurred it;
+    summed over a trace, the exclusive values telescope back to the
+    inclusive totals of the root spans (the property the tests assert).
+
+    Events missing optional fields (a trace written with telemetry only
+    partially enabled) are tolerated: spans without a ``name`` are
+    skipped, missing numeric fields count as zero, and spans without
+    ``id``/``parent`` linkage fall back to self == inclusive.
+    """
+    spans = [e for e in events
+             if e.get("type") == "span" and e.get("name") is not None]
+    # Per-parent child sums, for the exclusive view.
+    child_seconds: Dict[object, float] = {}
+    child_bytes: Dict[object, float] = {}
+    for event in spans:
+        parent = event.get("parent")
+        if parent is None:
             continue
+        child_seconds[parent] = child_seconds.get(parent, 0.0) \
+            + float(event.get("duration_s") or 0.0)
+        child_bytes[parent] = child_bytes.get(parent, 0.0) \
+            + float(event.get("alloc_bytes") or 0)
+    stats: Dict[str, Dict] = {}
+    for event in spans:
         entry = stats.setdefault(event["name"], {
             "calls": 0, "seconds": 0.0, "max_seconds": 0.0,
-            "alloc_bytes": 0, "ram_delta_bytes": 0,
+            "self_seconds": 0.0, "alloc_bytes": 0, "self_alloc_bytes": 0,
+            "ram_delta_bytes": 0,
         })
+        duration = float(event.get("duration_s") or 0.0)
+        alloc = float(event.get("alloc_bytes") or 0)
+        span_id = event.get("id")
         entry["calls"] += 1
-        entry["seconds"] += event.get("duration_s", 0.0)
-        entry["max_seconds"] = max(entry["max_seconds"],
-                                   event.get("duration_s", 0.0))
-        entry["alloc_bytes"] += event.get("alloc_bytes", 0)
-        entry["ram_delta_bytes"] += event.get("ram_delta_bytes", 0)
+        entry["seconds"] += duration
+        entry["max_seconds"] = max(entry["max_seconds"], duration)
+        entry["self_seconds"] += duration - child_seconds.get(span_id, 0.0)
+        entry["alloc_bytes"] += alloc
+        entry["self_alloc_bytes"] += alloc - child_bytes.get(span_id, 0.0)
+        entry["ram_delta_bytes"] += float(event.get("ram_delta_bytes") or 0)
     return stats
 
 
 def render_top_spans(events: Iterable[Mapping], top: int = 10) -> str:
-    """The hot list: span names ranked by total wall time."""
+    """The hot list: span names ranked by *exclusive* (self) wall time."""
     stats = aggregate_spans(events)
     if not stats:
         return "-- top spans --\n(no spans recorded)"
-    ranked = sorted(stats.items(), key=lambda kv: kv[1]["seconds"],
+    ranked = sorted(stats.items(), key=lambda kv: kv[1]["self_seconds"],
                     reverse=True)[:top]
     rows = []
     for name, entry in ranked:
@@ -92,12 +122,15 @@ def render_top_spans(events: Iterable[Mapping], top: int = 10) -> str:
             name,
             str(entry["calls"]),
             _format_seconds(entry["seconds"]),
+            _format_seconds(entry["self_seconds"]),
             _format_seconds(mean),
             _format_seconds(entry["max_seconds"]),
             _format_bytes(entry["alloc_bytes"]),
+            _format_bytes(entry["self_alloc_bytes"]),
         ])
-    return _table(["span", "calls", "total", "mean", "max", "alloc"],
-                  rows, f"top {len(rows)} spans by total time")
+    return _table(["span", "calls", "total", "self", "mean", "max",
+                   "alloc", "self-alloc"],
+                  rows, f"top {len(rows)} spans by self time")
 
 
 def epoch_series(events: Iterable[Mapping], field: str) -> List[float]:
@@ -129,20 +162,116 @@ def render_epoch_table(events: Iterable[Mapping]) -> str:
                   rows, "per-epoch metrics")
 
 
+def final_metrics(events: Iterable[Mapping]) -> Dict:
+    """The last metrics snapshot embedded in a trace (``{}`` when absent).
+
+    Tolerates partially-written metrics events (``metrics`` key missing or
+    null, a non-mapping payload) by skipping them.
+    """
+    snapshot: Dict = {}
+    for event in events:
+        if event.get("type") == "metrics":
+            payload = event.get("metrics")
+            if isinstance(payload, Mapping):
+                snapshot = dict(payload)
+    return snapshot
+
+
 def render_counters(events: Iterable[Mapping],
                     metrics: Optional[Mapping] = None) -> str:
     """Counter table from a metrics snapshot (explicit or in-trace)."""
     snapshot: Optional[Mapping] = metrics
     if snapshot is None:
-        for event in events:
-            if event.get("type") == "metrics":
-                snapshot = event.get("metrics", {})
-    counters = (snapshot or {}).get("counters", {})
-    if not counters:
+        snapshot = final_metrics(events)
+    counters = (snapshot or {}).get("counters") or {}
+    if not isinstance(counters, Mapping) or not counters:
         return "-- op counters --\n(no counters recorded)"
-    rows = [[name, f"{value:,.0f}" if isinstance(value, (int, float)) else str(value)]
+    rows = [[str(name),
+             f"{value:,.0f}" if isinstance(value, (int, float))
+             and not isinstance(value, bool) else str(value)]
             for name, value in sorted(counters.items())]
     return _table(["counter", "value"], rows, "op counters")
+
+
+def _numeric(value) -> Optional[float]:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def _format_signed_seconds(seconds: float) -> str:
+    sign = "-" if seconds < 0 else "+"
+    return sign + _format_seconds(abs(seconds))
+
+
+def _format_signed_bytes(nbytes: float) -> str:
+    sign = "-" if nbytes < 0 else "+"
+    return sign + _format_bytes(abs(nbytes))
+
+
+def render_run_diff(baseline_events: Sequence[Mapping],
+                    candidate_events: Sequence[Mapping],
+                    top: int = 12) -> str:
+    """Cross-run trace diff: per-span and per-counter deltas.
+
+    Aggregates both traces (:func:`aggregate_spans`, inclusive and
+    exclusive), aligns spans by name and counters by name, and renders the
+    deltas ranked by absolute self-time change — the view ``python -m
+    repro.bench compare --registry`` prints when both runs kept traces.
+    """
+    base_stats = aggregate_spans(baseline_events)
+    cand_stats = aggregate_spans(candidate_events)
+    names = sorted(set(base_stats) | set(cand_stats),
+                   key=lambda n: -abs(
+                       cand_stats.get(n, {}).get("self_seconds", 0.0)
+                       - base_stats.get(n, {}).get("self_seconds", 0.0)))
+    span_rows = []
+    for name in names[:top]:
+        base = base_stats.get(name, {})
+        cand = cand_stats.get(name, {})
+        base_s = base.get("seconds", 0.0)
+        cand_s = cand.get("seconds", 0.0)
+        rel = (cand_s - base_s) / base_s if base_s else float("inf")
+        span_rows.append([
+            name,
+            _format_seconds(base_s),
+            _format_seconds(cand_s),
+            f"{rel:+.1%}" if base_s else "new",
+            _format_signed_seconds(cand.get("self_seconds", 0.0)
+                                   - base.get("self_seconds", 0.0)),
+            _format_signed_bytes(cand.get("alloc_bytes", 0)
+                                 - base.get("alloc_bytes", 0)),
+        ])
+    sections = [
+        _table(["span", "base", "cand", "Δtotal", "Δself", "Δalloc"],
+               span_rows, "span diff (baseline → candidate)")
+        if span_rows else "-- span diff --\n(no spans in either trace)",
+    ]
+
+    base_counters = final_metrics(baseline_events).get("counters") or {}
+    cand_counters = final_metrics(candidate_events).get("counters") or {}
+    counter_rows = []
+    for name in sorted(set(base_counters) | set(cand_counters)):
+        base_v = _numeric(base_counters.get(name))
+        cand_v = _numeric(cand_counters.get(name))
+        if base_v is None and cand_v is None:
+            continue
+        base_v = base_v or 0.0
+        cand_v = cand_v or 0.0
+        if base_v == cand_v:
+            continue
+        rel = (cand_v - base_v) / abs(base_v) if base_v else float("inf")
+        counter_rows.append([
+            name, f"{base_v:,.0f}", f"{cand_v:,.0f}",
+            f"{cand_v - base_v:+,.0f}",
+            f"{rel:+.1%}" if base_v else "new",
+        ])
+    if counter_rows:
+        sections.append(_table(["counter", "base", "cand", "Δ", "rel"],
+                               counter_rows, "counter diff"))
+    else:
+        sections.append("-- counter diff --\n(no counter changes)")
+    return "\n\n".join(sections)
 
 
 def render_trace_report(events: Sequence[Mapping],

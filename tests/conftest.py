@@ -7,6 +7,18 @@ import pytest
 
 from repro.datasets import synthesize
 from repro.graph import Graph
+from repro.telemetry.registry import REGISTRY_DIR_ENV
+
+
+@pytest.fixture(autouse=True)
+def _isolated_run_registry(tmp_path_factory, monkeypatch):
+    """Point the run registry at a per-session tmp dir.
+
+    Unit tests exercise the bench CLI end-to-end; without this they would
+    append records to the real ``benchmarks/results/registry`` index.
+    """
+    monkeypatch.setenv(REGISTRY_DIR_ENV,
+                       str(tmp_path_factory.getbasetemp() / "run-registry"))
 
 
 @pytest.fixture

@@ -57,3 +57,64 @@ class TestExecution:
         code = main(["regression", "--filters", "ppr", "--epochs", "5"])
         assert code == 0
         assert "low" in capsys.readouterr().out
+
+
+class TestRegistryCli:
+    EFFICIENCY = ["efficiency", "--datasets", "cora", "--filters", "ppr",
+                  "--schemes", "mini_batch", "--epochs", "2"]
+
+    def _run(self, registry_dir, index):
+        return main(self.EFFICIENCY + [
+            "--registry-dir", str(registry_dir),
+            "--trace", str(registry_dir / f"run{index}.jsonl")])
+
+    def test_run_indexes_into_registry(self, tmp_path, capsys):
+        from repro.telemetry.registry import RunRegistry
+
+        assert self._run(tmp_path, 1) == 0
+        assert "registry:" in capsys.readouterr().out
+        records = RunRegistry(tmp_path).load()
+        assert len(records) == 1
+        assert records[0].experiment == "efficiency"
+        assert records[0].stages["train"]["seconds"] > 0
+        assert "self_seconds" in records[0].stages["train"]
+
+    def test_no_registry_flag_skips_indexing(self, tmp_path, capsys):
+        from repro.telemetry.registry import RunRegistry
+
+        code = main(self.EFFICIENCY + ["--no-registry",
+                                       "--registry-dir", str(tmp_path)])
+        assert code == 0
+        assert "registry:" not in capsys.readouterr().out
+        assert RunRegistry(tmp_path).load() == []
+
+    def test_compare_registry_end_to_end(self, tmp_path, capsys):
+        """Two runs, then resolve + diff by fingerprint with no file paths."""
+        from repro.telemetry.registry import RunRegistry
+
+        assert self._run(tmp_path, 1) == 0
+        assert self._run(tmp_path, 2) == 0
+        capsys.readouterr()
+        fingerprint = RunRegistry(tmp_path).load()[-1].config_fingerprint
+
+        code = main(["compare", "--registry", fingerprint,
+                     "--registry-dir", str(tmp_path), "--gate"])
+        out = capsys.readouterr().out
+        assert code in (0, 1)  # gate may legitimately flag smoke noise
+        assert f"config {fingerprint}" in out
+        assert "registry diff" in out
+        assert "stages.train.seconds" in out
+        assert "span diff" in out            # traces existed for both runs
+        assert "regression verdicts" in out  # --gate renders the table
+
+    def test_compare_registry_unknown_spec_exits_2(self, tmp_path, capsys):
+        code = main(["compare", "--registry", "feedfacefeed",
+                     "--registry-dir", str(tmp_path)])
+        assert code == 2
+        assert "need 2" in capsys.readouterr().err
+
+    def test_compare_rejects_mixed_modes(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["compare", "a.json", "b.json", "--registry", "abc"])
+        with pytest.raises(SystemExit):
+            main(["compare", "only-one.json"])

@@ -2,10 +2,15 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.bench.compare import MetricDelta, compare_files, compare_rows
+from repro.bench.compare import (
+    MetricDelta,
+    compare_files,
+    compare_registry,
+    compare_rows,
+    registry_delta_rows,
+)
 from repro.bench.io import save_rows
 from repro.errors import ReproError
 
@@ -103,3 +108,63 @@ class TestFiles:
         comparison = compare_files(base_path, cand_path)
         assert comparison.matched == 3
         assert comparison.regressions(0.05)
+
+
+def _registry_record(timestamp, seconds, counters=None, summary=None):
+    from repro.telemetry.registry import build_record
+
+    manifest = {"experiment": "efficiency", "config": {"epochs": 2},
+                "seed": 0, "datasets": ["cora"]}
+    return build_record(
+        manifest,
+        stages={"train": {"seconds": seconds, "self_seconds": seconds / 2,
+                          "ram_delta_bytes": 0}},
+        metrics={"counters": dict(counters or {})},
+        summary=dict(summary or {}),
+        timestamp=timestamp,
+    )
+
+
+class TestRegistryDeltas:
+    def test_stage_counter_summary_rows(self):
+        base = _registry_record(1.0, 2.0, counters={"ops.spmm.flops": 100},
+                                summary={"mean": 0.80})
+        cand = _registry_record(2.0, 3.0, counters={"ops.spmm.flops": 150},
+                                summary={"mean": 0.82})
+        rows = registry_delta_rows(base, cand)
+        by_metric = {r["metric"]: r for r in rows}
+        train = by_metric["stages.train.seconds"]
+        assert train["delta"] == pytest.approx(1.0)
+        assert train["rel"] == pytest.approx(0.5)
+        assert by_metric["counters.ops.spmm.flops"]["delta"] == 50
+        assert by_metric["summary.mean"]["delta"] == pytest.approx(0.02)
+
+    def test_unchanged_counters_omitted_and_zero_rows_finite(self):
+        base = _registry_record(1.0, 2.0, counters={"ops.spmm.flops": 100})
+        cand = _registry_record(2.0, 2.0, counters={"ops.spmm.flops": 100})
+        rows = registry_delta_rows(base, cand)
+        metrics = {r["metric"] for r in rows}
+        assert "counters.ops.spmm.flops" not in metrics
+        # 0 -> 0 rows report rel 0, not inf.
+        ram = next(r for r in rows
+                   if r["metric"] == "stages.train.ram_delta_bytes")
+        assert ram["rel"] == 0.0
+
+    def test_compare_registry_resolves_latest_pair(self, tmp_path):
+        from repro.telemetry.registry import RunRegistry
+
+        registry = RunRegistry(tmp_path)
+        registry.append(_registry_record(1.0, 1.0))
+        registry.append(_registry_record(2.0, 2.0))
+        registry.append(_registry_record(3.0, 4.0))
+        fingerprint = registry.load()[0].config_fingerprint
+        baseline, candidate, rows = compare_registry(
+            fingerprint, registry_dir=tmp_path)
+        # Two most recent: 2.0s -> 4.0s, the first run is out of the diff.
+        assert baseline.timestamp == 2.0 and candidate.timestamp == 3.0
+        train = next(r for r in rows if r["metric"] == "stages.train.seconds")
+        assert train["baseline"] == 2.0 and train["candidate"] == 4.0
+
+    def test_compare_registry_unknown_spec(self, tmp_path):
+        with pytest.raises(ReproError, match="need 2"):
+            compare_registry("no-such-config", registry_dir=tmp_path)

@@ -9,7 +9,9 @@ from repro.errors import GraphError, ReproError
 from repro.filters import make_filter
 from repro.spectral import (
     MAX_DENSE_NODES,
+    clear_eig_cache,
     cluster_separation,
+    eig_cache_stats,
     extremal_eigenvalues,
     laplacian_eigendecomposition,
     low_frequency_mass,
@@ -58,6 +60,96 @@ class TestDecomposition:
         density = spectral_density(small_graph, bins=10)
         assert density.shape == (10,)
         assert density.sum() == pytest.approx(1.0)
+
+
+class TestEigObservability:
+    """The decomposition path is instrumented: op counters + memoization."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh(self):
+        from repro import telemetry
+
+        telemetry.shutdown()
+        clear_eig_cache()
+        yield
+        telemetry.shutdown()
+        clear_eig_cache()
+
+    def test_dense_eig_flops_counted(self, tiny_graph):
+        from repro import telemetry
+        from repro.spectral.decomposition import DENSE_EIG_FLOPS_PER_N3
+
+        telemetry.configure()
+        eigenvalues, eigenvectors = laplacian_eigendecomposition(tiny_graph)
+        metrics = telemetry.get_metrics()
+        n = tiny_graph.num_nodes
+        assert metrics.counter("ops.eig.calls").value == 1
+        assert metrics.counter("ops.eig.flops").value \
+            == DENSE_EIG_FLOPS_PER_N3 * n ** 3
+        assert metrics.counter("ops.eig.bytes").value \
+            == eigenvalues.nbytes + eigenvectors.nbytes
+
+    def test_extremal_eig_flops_counted(self, small_graph):
+        from repro import telemetry
+
+        telemetry.configure()
+        extremal_eigenvalues(small_graph, k=2)
+        metrics = telemetry.get_metrics()
+        assert metrics.counter("ops.eig.calls").value == 1
+        assert metrics.counter("ops.eig.flops").value > 0
+
+    def test_memoized_second_call_skips_solve(self, tiny_graph):
+        from repro import telemetry
+
+        telemetry.configure()
+        first = laplacian_eigendecomposition(tiny_graph)
+        second = laplacian_eigendecomposition(tiny_graph)
+        metrics = telemetry.get_metrics()
+        # One actual O(n^3) solve; the second call is a cache hit.
+        assert metrics.counter("ops.eig.calls").value == 1
+        assert metrics.counter("cache.eig.hit").value == 1
+        assert metrics.counter("cache.eig.miss").value == 1
+        assert first[0] is second[0] and first[1] is second[1]
+        stats = eig_cache_stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_cached_arrays_are_read_only(self, tiny_graph):
+        eigenvalues, eigenvectors = laplacian_eigendecomposition(tiny_graph)
+        with pytest.raises(ValueError):
+            eigenvalues[0] = 99.0
+        with pytest.raises(ValueError):
+            eigenvectors[0, 0] = 99.0
+
+    def test_distinct_rho_distinct_entries(self, tiny_graph):
+        laplacian_eigendecomposition(tiny_graph, rho=0.5)
+        laplacian_eigendecomposition(tiny_graph, rho=1.0)
+        assert eig_cache_stats()["misses"] == 2
+        assert eig_cache_stats()["entries"] == 2
+
+    def test_mutation_invalidates(self, tiny_graph):
+        from repro import telemetry
+
+        telemetry.configure()
+        laplacian_eigendecomposition(tiny_graph)
+        tiny_graph.adjacency.data[0] += 1.0  # mutate in place
+        laplacian_eigendecomposition(tiny_graph)
+        metrics = telemetry.get_metrics()
+        assert metrics.counter("ops.eig.calls").value == 2
+        assert metrics.counter("cache.eig.hit").value == 0
+
+    def test_disabled_caches_bypass_memo(self, tiny_graph):
+        from repro import telemetry
+        from repro.runtime.cache import caches_disabled
+
+        telemetry.configure()
+        with caches_disabled():
+            first = laplacian_eigendecomposition(tiny_graph)
+            second = laplacian_eigendecomposition(tiny_graph)
+        metrics = telemetry.get_metrics()
+        assert metrics.counter("ops.eig.calls").value == 2
+        assert first[0] is not second[0]
+        # Seed behaviour restored: the caller may mutate its result.
+        assert first[0].flags.writeable and first[1].flags.writeable
 
 
 class TestResponseAnalysis:

@@ -6,6 +6,8 @@ import json
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import telemetry
 from repro.autodiff import Tensor, spmm
@@ -416,3 +418,213 @@ class TestCli:
             ["efficiency", "--trace", "t.jsonl", "--no-telemetry"])
         assert args.trace == "t.jsonl"
         assert args.no_telemetry
+
+
+def _span(span_id, parent, name, seconds, alloc, **extra):
+    return {"type": "span", "id": span_id, "parent": parent, "name": name,
+            "duration_s": seconds, "alloc_bytes": alloc, **extra}
+
+
+#: root(10s, 1000B) -> a(4s, 300B) -> c(1s, 50B); root -> b(3s, 200B)
+TREE_EVENTS = [
+    _span(3, 2, "c", 1.0, 50),
+    _span(2, 1, "a", 4.0, 300),
+    _span(4, 1, "b", 3.0, 200),
+    _span(1, None, "root", 10.0, 1000),
+]
+
+
+class TestExclusiveAggregation:
+    def test_self_values_subtract_direct_children(self):
+        stats = telemetry.aggregate_spans(TREE_EVENTS)
+        assert stats["root"]["seconds"] == 10.0
+        assert stats["root"]["self_seconds"] == pytest.approx(3.0)
+        assert stats["a"]["self_seconds"] == pytest.approx(3.0)
+        assert stats["c"]["self_seconds"] == pytest.approx(1.0)
+        assert stats["root"]["self_alloc_bytes"] == 500
+        assert stats["a"]["self_alloc_bytes"] == 250
+        assert stats["b"]["self_alloc_bytes"] == \
+            stats["b"]["alloc_bytes"] == 200
+
+    def test_exclusive_telescopes_to_inclusive_root(self):
+        """Σ self over every span == inclusive total of the root spans."""
+        stats = telemetry.aggregate_spans(TREE_EVENTS)
+        assert sum(e["self_seconds"] for e in stats.values()) \
+            == pytest.approx(stats["root"]["seconds"])
+        assert sum(e["self_alloc_bytes"] for e in stats.values()) \
+            == stats["root"]["alloc_bytes"]
+
+    def test_telescoping_holds_on_a_live_trace(self):
+        telemetry.configure()
+        with telemetry.span("root"):
+            with telemetry.span("a"):
+                with telemetry.span("c"):
+                    sum(range(2000))
+            with telemetry.span("b"):
+                sum(range(2000))
+        events = telemetry.shutdown()
+        stats = telemetry.aggregate_spans(events)
+        root_inclusive = stats["root"]["seconds"]
+        assert sum(e["self_seconds"] for e in stats.values()) \
+            == pytest.approx(root_inclusive, rel=1e-9)
+        assert all(e["self_seconds"] >= 0 for e in stats.values())
+
+    def test_tolerates_missing_fields(self):
+        """Partially-written spans degrade gracefully, never raise."""
+        ragged = [
+            {"type": "span", "name": "a", "duration_s": 1.0},  # no id/parent
+            {"type": "span", "name": "a"},                     # no numerics
+            {"type": "span", "id": 7, "parent": None,
+             "duration_s": None, "alloc_bytes": None, "name": "b"},
+            {"type": "span", "duration_s": 5.0},               # no name
+            {"type": "epoch", "loss": 1.0},
+        ]
+        stats = telemetry.aggregate_spans(ragged)
+        assert stats["a"]["calls"] == 2
+        assert stats["a"]["seconds"] == 1.0
+        assert stats["a"]["self_seconds"] == 1.0   # no linkage: self==incl
+        assert stats["b"]["seconds"] == 0.0
+        assert "span" not in stats and None not in stats
+
+    def test_renderers_tolerate_ragged_events(self):
+        ragged = [
+            {"type": "span", "name": "a", "duration_s": 1.0},
+            {"type": "span", "duration_s": 2.0},
+            {"type": "metrics"},                       # no payload
+            {"type": "metrics", "metrics": None},
+            {"type": "metrics", "metrics": {"counters": None}},
+            {"type": "metrics",
+             "metrics": {"counters": {"ops.x.calls": 3, "note": "text"}}},
+        ]
+        top = telemetry.render_top_spans(ragged)
+        assert "a" in top and "self" in top
+        counters = telemetry.render_counters(ragged)
+        assert "ops.x.calls" in counters and "note" in counters
+        assert "no counters" in telemetry.render_counters(
+            [{"type": "metrics", "metrics": {"counters": {}}}])
+
+
+class TestRunDiff:
+    def test_span_and_counter_deltas(self):
+        baseline = TREE_EVENTS + [
+            {"type": "metrics",
+             "metrics": {"counters": {"ops.spmm.flops": 100,
+                                      "ops.matmul.flops": 50}}}]
+        candidate = [
+            _span(3, 2, "c", 1.0, 50),
+            _span(2, 1, "a", 7.0, 300),        # a got 3s slower
+            _span(4, 1, "b", 3.0, 200),
+            _span(1, None, "root", 13.0, 1000),
+            {"type": "metrics",
+             "metrics": {"counters": {"ops.spmm.flops": 300,
+                                      "ops.matmul.flops": 50}}}]
+        text = telemetry.render_run_diff(baseline, candidate)
+        assert "span diff" in text and "counter diff" in text
+        # 'a' has the largest self-time delta, so it leads the table.
+        span_lines = [ln for ln in text.splitlines()
+                      if ln.startswith(("a ", "root ", "b ", "c "))]
+        assert span_lines[0].startswith("a ")
+        assert "+75.0%" in text            # a: 4s -> 7s inclusive
+        assert "ops.spmm.flops" in text and "+200" in text
+        assert "ops.matmul.flops" not in text   # unchanged counters hidden
+
+    def test_empty_traces(self):
+        text = telemetry.render_run_diff([], [])
+        assert "no spans" in text and "no counter changes" in text
+
+
+class TestHistogramMerge:
+    def test_exact_fields_combine_exactly(self):
+        a, b = Histogram("h"), Histogram("h")
+        for v in (1.0, 2.0, 3.0):
+            a.observe(v)
+        for v in (10.0, 20.0):
+            b.observe(v)
+        merged = a.merge(b)
+        assert merged.count == 5
+        assert merged.mean == pytest.approx(36.0 / 5)
+        assert merged.min_value == 1.0 and merged.max_value == 20.0
+        # Small reservoirs merge losslessly: quantiles are exact.
+        assert merged.quantile(0.5) == 3.0
+
+    def test_merge_is_commutative(self):
+        rng = np.random.default_rng(0)
+        a, b = Histogram("h", max_samples=64), Histogram("h", max_samples=64)
+        for v in rng.normal(size=500):
+            a.observe(float(v))
+        for v in rng.normal(loc=3.0, size=300):
+            b.observe(float(v))
+        ab, ba = a.merge(b), b.merge(a)
+        assert ab.summary() == ba.summary()
+
+    def test_merge_with_empty(self):
+        a, empty = Histogram("h"), Histogram("h")
+        for v in (1.0, 2.0):
+            a.observe(v)
+        assert a.merge(empty).summary() == a.summary()
+        assert empty.merge(a).summary() == a.summary()
+        assert empty.merge(Histogram("h")).count == 0
+
+    def test_compression_respects_reservoir_bound(self):
+        a, b = Histogram("h", max_samples=32), Histogram("h", max_samples=32)
+        for i in range(1000):
+            a.observe(float(i))
+            b.observe(float(2000 + i))
+        merged = a.merge(b)
+        assert len(merged._samples) < merged.max_samples
+        assert merged.quantile(0.0) == merged.min_value
+        assert merged.quantile(1.0) == merged.max_value
+
+    @given(
+        left=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=400),
+        right=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=400),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merged_quantiles_within_rank_error(self, left, right):
+        """Merged quantile(q) sits within a bounded *rank* neighborhood.
+
+        Equal-mass compression with capacity C moves any quantile by at
+        most a few centroids of mass; we assert merged quantiles stay
+        inside the value range spanned by ranks q ± 3/C of the exact
+        combined distribution (endpoints exact by construction).
+        """
+        capacity = 64
+        a, b = Histogram("h", capacity), Histogram("h", capacity)
+        for v in left:
+            a.observe(v)
+        for v in right:
+            b.observe(v)
+        merged = a.merge(b)
+        data = sorted(left + right)
+        n = len(data)
+        assert merged.quantile(0.0) == min(data)
+        assert merged.quantile(1.0) == max(data)
+        rank_eps = 3.0 / capacity
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9):
+            low = data[max(0, int(np.floor((q - rank_eps) * (n - 1))))]
+            high = data[min(n - 1, int(np.ceil((q + rank_eps) * (n - 1))))]
+            value = merged.quantile(q)
+            slack = 1e-9 * max(1.0, abs(low), abs(high))  # float roundoff
+            assert low - slack <= value <= high + slack
+
+
+class TestRegistryMergeFrom:
+    def test_counters_gauges_histograms_fold(self):
+        main, shard = MetricsRegistry(), MetricsRegistry()
+        main.counter("ops.spmm.calls").inc(5)
+        shard.counter("ops.spmm.calls").inc(7)
+        shard.counter("ops.eig.calls").inc(1)
+        main.gauge("ram").set(100)
+        shard.gauge("ram").set(80)
+        shard.gauge("ram").set(60)
+        for v in (1.0, 2.0):
+            main.histogram("lat").observe(v)
+        for v in (3.0, 4.0):
+            shard.histogram("lat").observe(v)
+        merged = main.merge_from(shard).snapshot()
+        assert merged["counters"]["ops.spmm.calls"] == 12
+        assert merged["counters"]["ops.eig.calls"] == 1
+        assert merged["gauges"]["ram"]["max"] == 100
+        assert merged["gauges"]["ram"]["value"] == 60
+        assert merged["histograms"]["lat"]["count"] == 4
+        assert merged["histograms"]["lat"]["mean"] == pytest.approx(2.5)

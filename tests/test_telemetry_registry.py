@@ -1,0 +1,308 @@
+"""Run registry + regression observatory tests.
+
+Covers the durability contract of the append-only index (interleaved
+writers, truncated tails), fingerprint identity, history queries, and the
+declarative regression gate built on top.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.telemetry.registry import (
+    FINGERPRINT_KEYS,
+    REGISTRY_FILENAME,
+    RunRegistry,
+    build_record,
+    config_fingerprint,
+    default_registry_dir,
+    metric_value,
+    record_run,
+)
+from repro.telemetry.regression import (
+    Threshold,
+    default_thresholds,
+    evaluate_pair,
+    evaluate_registry,
+    load_thresholds,
+    passed,
+    render_verdict_table,
+    save_thresholds,
+)
+
+BASE_MANIFEST = {
+    "schema": "repro.telemetry.manifest/v1",
+    "experiment": "efficiency",
+    "artifact": "table-3",
+    "config": {"datasets": ["cora"], "filters": ["ppr"], "epochs": 2},
+    "seed": 0,
+    "datasets": ["cora"],
+    "cache": True,
+    "git_sha": "abc123",
+    "platform": {"python": "3.11", "machine": "x86_64"},
+}
+
+
+def make_manifest(**overrides):
+    manifest = json.loads(json.dumps(BASE_MANIFEST))
+    manifest.update(overrides)
+    return manifest
+
+
+def make_record(timestamp, *, seconds=1.0, manifest=None, **stage_fields):
+    stages = {"train": {"seconds": seconds, "self_seconds": seconds / 2,
+                        "ram_delta_bytes": 0, **stage_fields}}
+    return build_record(manifest or make_manifest(), stages=stages,
+                        metrics={"counters": {"ops.eig.flops": 900.0}},
+                        summary={"mean": 0.8}, timestamp=timestamp)
+
+
+# ---------------------------------------------------------------------------
+# fingerprints
+# ---------------------------------------------------------------------------
+
+class TestFingerprint:
+    def test_deterministic(self):
+        assert config_fingerprint(make_manifest()) \
+            == config_fingerprint(make_manifest())
+
+    def test_config_change_alters_it(self):
+        base = config_fingerprint(make_manifest())
+        assert config_fingerprint(make_manifest(seed=1)) != base
+        assert config_fingerprint(make_manifest(datasets=["pubmed"])) != base
+        changed = make_manifest()
+        changed["config"]["epochs"] = 50
+        assert config_fingerprint(changed) != base
+
+    def test_code_identity_does_not(self):
+        """Same config on another commit/host keeps the fingerprint."""
+        base = config_fingerprint(make_manifest())
+        assert config_fingerprint(make_manifest(git_sha="fff999")) == base
+        assert config_fingerprint(
+            make_manifest(platform={"python": "3.12"})) == base
+        assert "git_sha" not in FINGERPRINT_KEYS
+
+    def test_env_var_controls_default_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_REGISTRY_DIR", str(tmp_path / "reg"))
+        assert default_registry_dir() == tmp_path / "reg"
+        assert default_registry_dir(tmp_path / "explicit") \
+            == tmp_path / "explicit"
+
+
+# ---------------------------------------------------------------------------
+# append / load / queries
+# ---------------------------------------------------------------------------
+
+class TestRegistry:
+    def test_round_trip(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        record = registry.append(make_record(100.0, seconds=2.5))
+        loaded = registry.load()
+        assert len(loaded) == 1
+        assert loaded[0].run_id == record.run_id
+        assert loaded[0].stages["train"]["seconds"] == 2.5
+        assert loaded[0].git_sha == "abc123"
+
+    def test_latest_and_by_config(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.append(make_record(1.0))
+        registry.append(make_record(2.0, manifest=make_manifest(seed=9)))
+        registry.append(make_record(3.0))
+        fp = config_fingerprint(make_manifest())
+        assert len(registry.by_config(fp)) == 2
+        assert registry.latest().timestamp == 3.0
+        other = config_fingerprint(make_manifest(seed=9))
+        assert registry.latest(other).timestamp == 2.0
+        # Prefix match resolves too.
+        assert len(registry.by_config(fp[:6])) == 2
+
+    def test_history_series(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        for ts, secs in [(1.0, 1.0), (2.0, 2.0), (3.0, 4.0)]:
+            registry.append(make_record(ts, seconds=secs))
+        series = registry.history("stages.train.seconds")
+        assert series == [(1.0, 1.0), (2.0, 2.0), (3.0, 4.0)]
+        # Dotted counter names resolve through the dotted-leaf fallback.
+        flops = registry.history("metrics.counters.ops.eig.flops")
+        assert [v for _, v in flops] == [900.0, 900.0, 900.0]
+
+    def test_history_order_stable_under_identical_timestamps(self, tmp_path):
+        """Append order is the tiebreak when wall clocks collide."""
+        registry = RunRegistry(tmp_path)
+        for secs in (1.0, 2.0, 3.0):
+            registry.append(make_record(42.0, seconds=secs))
+        series = registry.history("stages.train.seconds")
+        assert [v for _, v in series] == [1.0, 2.0, 3.0]
+        baseline, candidate = registry.resolve_pair(
+            config_fingerprint(make_manifest()))
+        assert baseline.stages["train"]["seconds"] == 2.0
+        assert candidate.stages["train"]["seconds"] == 3.0
+
+    def test_interleaved_writers(self, tmp_path):
+        """Two writer instances appending concurrently shear no records."""
+        writers = [RunRegistry(tmp_path), RunRegistry(tmp_path)]
+        errors = []
+
+        def spin(writer, offset):
+            try:
+                for i in range(25):
+                    writer.append(make_record(float(offset + i)))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=spin, args=(w, k * 1000))
+                   for k, w in enumerate(writers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        reader = RunRegistry(tmp_path)
+        records = reader.load()
+        assert len(records) == 50
+        assert reader.corrupt_lines == 0
+        assert len({r.run_id for r in records}) == 50
+
+    def test_truncated_last_line_tolerated_and_repaired(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.append(make_record(1.0))
+        registry.append(make_record(2.0))
+        # Simulate a writer that died mid-line.
+        path = tmp_path / REGISTRY_FILENAME
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"config_fingerprint": "dead", "timest')
+        assert len(registry.load()) == 2
+        assert registry.corrupt_lines == 1
+        # The next append repairs the tail: new record lands on its own
+        # line instead of extending the broken one.
+        registry.append(make_record(3.0))
+        records = registry.load()
+        assert [r.timestamp for r in records] == [1.0, 2.0, 3.0]
+        assert registry.corrupt_lines == 1
+
+    def test_resolve_pair_needs_two_runs(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        with pytest.raises(ReproError, match="need 2"):
+            registry.resolve_pair("efficiency")
+        registry.append(make_record(1.0))
+        with pytest.raises(ReproError, match="1 run"):
+            registry.resolve_pair(config_fingerprint(make_manifest()))
+
+    def test_resolve_by_experiment_picks_newest_config(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.append(make_record(1.0))
+        registry.append(make_record(2.0))
+        registry.append(make_record(3.0, manifest=make_manifest(seed=9)))
+        registry.append(make_record(4.0, manifest=make_manifest(seed=9)))
+        matched = registry.resolve("efficiency")
+        assert {r.config_fingerprint for r in matched} \
+            == {config_fingerprint(make_manifest(seed=9))}
+
+    def test_record_run_extracts_trace_events(self, tmp_path):
+        events = [
+            {"type": "span", "name": "train", "id": 1, "parent": None,
+             "duration_s": 2.0, "alloc_bytes": 100},
+            {"type": "metrics",
+             "metrics": {"counters": {"ops.spmm.calls": 3}}},
+        ]
+        record = record_run(make_manifest(), events=events,
+                            registry_dir=tmp_path)
+        loaded = RunRegistry(tmp_path).load()
+        assert loaded[0].run_id == record.run_id
+        assert loaded[0].stages["train"]["seconds"] == 2.0
+        assert loaded[0].metrics["counters"]["ops.spmm.calls"] == 3
+
+    def test_metric_value_paths(self):
+        record = make_record(1.0, seconds=3.0)
+        assert metric_value(record, "stages.train.seconds") == 3.0
+        assert metric_value(record, "metrics.counters.ops.eig.flops") == 900.0
+        assert metric_value(record, "summary.mean") == 0.8
+        assert metric_value(record, "stages.nope.seconds") is None
+        assert metric_value(record, "no.such.path") is None
+
+
+# ---------------------------------------------------------------------------
+# regression gate
+# ---------------------------------------------------------------------------
+
+class TestRegression:
+    def test_unmodified_pair_passes(self):
+        base, cand = make_record(1.0, seconds=1.0), make_record(2.0, seconds=1.1)
+        verdicts = evaluate_pair(base, cand, default_thresholds())
+        assert passed(verdicts)
+        assert any(v.status == "pass" for v in verdicts)
+
+    def test_double_slowdown_fails(self):
+        base, cand = make_record(1.0, seconds=1.0), make_record(2.0, seconds=2.0)
+        verdicts = evaluate_pair(base, cand, default_thresholds())
+        assert not passed(verdicts)
+        failed = [v for v in verdicts if v.failed]
+        assert [v.metric for v in failed] == ["stages.train.seconds"]
+        assert "+100%" in failed[0].reason
+
+    def test_ignore_below_skips_noise(self):
+        base = make_record(1.0, seconds=0.001)
+        cand = make_record(2.0, seconds=0.005)  # 5x, but microscopic
+        verdicts = evaluate_pair(base, cand, default_thresholds())
+        assert passed(verdicts)
+        seconds = [v for v in verdicts if v.metric == "stages.train.seconds"]
+        assert seconds[0].status == "skip"
+        assert "noise floor" in seconds[0].reason
+
+    def test_min_value_floor(self):
+        base, cand = make_record(1.0), make_record(2.0)
+        floor = [Threshold("summary.mean", min_value=0.9)]
+        verdicts = evaluate_pair(base, cand, floor)
+        assert not passed(verdicts)
+        assert "floor" in verdicts[0].reason
+        assert passed(evaluate_pair(
+            base, cand, [Threshold("summary.mean", min_value=0.5)]))
+
+    def test_absent_metric_skips(self):
+        base, cand = make_record(1.0), make_record(2.0)
+        verdicts = evaluate_pair(
+            base, cand, [Threshold("stages.ghost.seconds",
+                                   max_rel_increase=0.1)])
+        assert verdicts[0].status == "skip"
+        assert passed(verdicts)
+
+    def test_wildcard_expands_over_both_records(self):
+        base = make_record(1.0)
+        cand = make_record(2.0)
+        cand.stages["eval"] = {"seconds": 9.0}
+        verdicts = evaluate_pair(
+            base, cand, [Threshold("stages.*.seconds", max_rel_increase=0.75)])
+        assert {v.metric for v in verdicts} \
+            == {"stages.train.seconds", "stages.eval.seconds"}
+
+    def test_evaluate_registry_gates_latest_pair(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.append(make_record(1.0, seconds=1.0))
+        registry.append(make_record(2.0, seconds=5.0))
+        verdicts, baseline, candidate = evaluate_registry(
+            config_fingerprint(make_manifest()), registry_dir=tmp_path)
+        assert baseline.timestamp == 1.0 and candidate.timestamp == 2.0
+        assert not passed(verdicts)
+
+    def test_verdict_table_renders_failures_first(self):
+        base, cand = make_record(1.0, seconds=1.0), make_record(2.0, seconds=9.0)
+        text = render_verdict_table(evaluate_pair(base, cand))
+        assert "FAILURE(S)" in text
+        lines = text.splitlines()
+        assert lines[2].startswith("FAIL")
+        clean = render_verdict_table(
+            evaluate_pair(base, make_record(3.0, seconds=1.0)))
+        assert "all clear" in clean
+
+    def test_thresholds_json_round_trip(self, tmp_path):
+        thresholds = default_thresholds() + [
+            Threshold("summary.mean", min_value=0.6),
+            Threshold("stages.train.seconds", max_abs_increase=0.5,
+                      ignore_below=0.01),
+        ]
+        path = save_thresholds(thresholds, tmp_path / "gates" / "pin.json")
+        assert load_thresholds(path) == thresholds
