@@ -1,0 +1,127 @@
+"""Serial ≡ parallel determinism gate for the process-pool sweep executor.
+
+Runs one small efficiency sweep (2 datasets × 2 filters × 1 scheme = 4
+grid cells) twice through the real CLI — once serial (``--workers 1``,
+the exact historical code path) and once fanned out to a process pool
+(``--workers 4``, one cell per worker) — and holds the pool executor
+(:mod:`repro.runtime.pool`) to its contract:
+
+- **payload determinism**: after stripping execution-dependent fields
+  (wall times, RSS peaks, file paths, timestamps —
+  :func:`repro.bench.io.canonical_rows`), the two result files are
+  *byte-identical*. Cell seeds are derived from grid coordinates and
+  results are reassembled in grid order, so worker scheduling must not
+  be able to perturb a single result bit.
+- **counter determinism**: the schedule-invariant telemetry counters
+  (``ops.{matmul,spmm,ewise}.{calls,flops,bytes}`` plus
+  ``pool.cells.ok`` — :func:`repro.bench.io.deterministic_counters`)
+  folded in from the worker shards match the serial totals exactly and
+  are non-trivial (``ops.spmm.calls > 0``). Cache-traffic counters are
+  deliberately out of scope: per-process memos hit/miss differently
+  across worker counts without affecting results.
+- **registry annotation**: both runs share one config fingerprint
+  (``workers`` is execution strategy, not configuration) while their
+  records carry ``workers``/``pool`` fields telling the two modes apart.
+
+The normalized payloads and the counter table are persisted under
+``benchmarks/results/parallel_smoke/`` so the ``bench-parallel`` CI job
+can upload them as artifacts for post-mortem diffing.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+from repro.bench.__main__ import main as bench_main
+from repro.bench.io import canonical_payload, deterministic_counters, load_rows
+from repro.telemetry.registry import RunRegistry
+
+from .conftest import RESULTS_DIR, emit, env_epochs, run_once
+
+EPOCHS_DEFAULT = 3
+PARALLEL_DIR = RESULTS_DIR / "parallel_smoke"
+WORKER_COUNTS = (1, 4)
+GRID_CELLS = 4  # 2 datasets x 2 filters x 1 scheme
+
+
+def _one_cli_run(workers: int, epochs: int) -> int:
+    return bench_main([
+        "efficiency", "--datasets", "cora", "citeseer",
+        "--filters", "ppr", "chebyshev", "--schemes", "mini_batch",
+        "--epochs", str(epochs), "--workers", str(workers),
+        "--registry-dir", str(PARALLEL_DIR),
+        "--output", str(PARALLEL_DIR / f"w{workers}.json"),
+        "--trace", str(PARALLEL_DIR / f"w{workers}.jsonl"),
+    ])
+
+
+def _parallel_smoke(epochs: int) -> dict:
+    if PARALLEL_DIR.exists():
+        shutil.rmtree(PARALLEL_DIR)
+    PARALLEL_DIR.mkdir(parents=True)
+
+    exit_codes = {w: _one_cli_run(w, epochs) for w in WORKER_COUNTS}
+
+    payloads = {}
+    for workers in WORKER_COUNTS:
+        payload = canonical_payload(load_rows(PARALLEL_DIR / f"w{workers}.json"))
+        payloads[workers] = payload
+        (PARALLEL_DIR / f"payload_w{workers}.json").write_bytes(payload)
+
+    registry = RunRegistry(PARALLEL_DIR)
+    records = {record.workers: record for record in registry.load()}
+    counters = {
+        workers: deterministic_counters(
+            records[workers].metrics.get("counters", {}))
+        for workers in WORKER_COUNTS
+    }
+
+    return {
+        "exit_codes": exit_codes,
+        "payloads": payloads,
+        "records": records,
+        "counters": counters,
+        "corrupt_lines": registry.corrupt_lines,
+    }
+
+
+def test_parallel_smoke_gate(benchmark):
+    epochs = env_epochs(EPOCHS_DEFAULT)
+    report = run_once(benchmark, _parallel_smoke, epochs)
+    serial, pooled = WORKER_COUNTS
+
+    emit([{"counter": name,
+           **{f"workers_{w}": report["counters"][w].get(name)
+              for w in WORKER_COUNTS}}
+          for name in sorted(report["counters"][serial])],
+         title="schedule-invariant counters, serial vs pooled")
+
+    # Both CLI invocations completed and were indexed cleanly.
+    assert report["exit_codes"] == {w: 0 for w in WORKER_COUNTS}
+    assert report["corrupt_lines"] == 0
+    assert set(report["records"]) == set(WORKER_COUNTS), \
+        "expected one registry record per worker count"
+
+    # --- payload determinism: byte-identical after normalization.
+    assert report["payloads"][serial], "serial run produced an empty payload"
+    assert report["payloads"][serial] == report["payloads"][pooled], (
+        "serial and parallel sweeps diverged after normalization; diff "
+        f"{PARALLEL_DIR / f'payload_w{serial}.json'} against "
+        f"{PARALLEL_DIR / f'payload_w{pooled}.json'}")
+
+    # --- counter determinism: folded worker shards == serial totals.
+    assert report["counters"][serial] == report["counters"][pooled], \
+        "merged op counters drifted between serial and pooled execution"
+    assert report["counters"][serial].get("ops.spmm.calls", 0) > 0, \
+        "determinism gate is vacuous: no spmm ops were counted"
+    assert report["counters"][serial].get("pool.cells.ok") == GRID_CELLS
+
+    # --- registry annotation: one config, two execution strategies.
+    serial_record, pooled_record = (report["records"][serial],
+                                    report["records"][pooled])
+    assert (serial_record.config_fingerprint
+            == pooled_record.config_fingerprint), \
+        "worker count leaked into the config fingerprint"
+    assert serial_record.workers == serial
+    assert pooled_record.workers == pooled
+    assert pooled_record.pool.get("workers") == pooled

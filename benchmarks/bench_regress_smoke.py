@@ -11,9 +11,11 @@ makes:
   every longitudinal comparison vacuous, so this is the canary.
 - **resolution**: ``python -m repro.bench compare --registry <config>``
   resolves the two runs *by fingerprint* (no file paths) and exits 0.
-- **gate calibration**: the stock thresholds pass on the unmodified pair,
-  and fail when a synthetic 2× slowdown is injected into every stage of
-  the candidate — i.e. the gate is neither vacuous nor trigger-happy.
+- **gate calibration**: the *pinned* per-bench thresholds
+  (``benchmarks/thresholds/efficiency.json`` — stage time/RAM growth plus
+  exact op-counter equality) pass on the unmodified pair, and fail when a
+  synthetic 2× slowdown is injected into every stage of the candidate —
+  i.e. the gate is neither vacuous nor trigger-happy.
 
 The registry index, both traces, and the rendered trace diff + verdict
 tables are persisted under ``benchmarks/results/regress_smoke/`` so the
@@ -28,9 +30,9 @@ import shutil
 from repro.bench.__main__ import main as bench_main
 from repro.bench.compare import compare_registry
 from repro.telemetry.regression import (
-    default_thresholds,
     evaluate_pair,
     passed,
+    pinned_thresholds,
     render_verdict_table,
 )
 from repro.telemetry.registry import RunRegistry
@@ -41,6 +43,7 @@ from .conftest import RESULTS_DIR, emit, env_epochs, run_once
 
 EPOCHS_DEFAULT = 4
 REGRESS_DIR = RESULTS_DIR / "regress_smoke"
+THRESHOLDS_DIR = RESULTS_DIR.parent / "thresholds"
 
 
 def _one_cli_run(index: int, epochs: int) -> int:
@@ -67,7 +70,7 @@ def _regress_smoke(epochs: int) -> dict:
         "--registry-dir", str(REGRESS_DIR),
     ])
 
-    thresholds = default_thresholds()
+    thresholds = pinned_thresholds("efficiency", directory=THRESHOLDS_DIR)
     clean_verdicts = evaluate_pair(baseline, candidate, thresholds)
 
     # Synthetic regression: a candidate that takes 2× the *baseline* time
@@ -83,6 +86,7 @@ def _regress_smoke(epochs: int) -> dict:
     return {
         "exit_codes": exit_codes,
         "compare_exit": compare_exit,
+        "thresholds": thresholds,
         "entries": len(records),
         "corrupt_lines": registry.corrupt_lines,
         "fingerprints": registry.fingerprints(),
@@ -129,7 +133,12 @@ def test_regress_smoke_gate(benchmark):
     assert report["delta_rows"], "registry diff produced no delta rows"
     assert any(r["metric"].startswith("stages.") for r in report["delta_rows"])
 
-    # --- gate calibration: clean pair passes, 2x slowdown fails.
+    # --- gate calibration: the *pinned* per-bench thresholds were loaded
+    # (they carry exact op-counter equality rules the stock defaults lack),
+    # the clean pair passes them, and a 2x slowdown fails them.
+    assert any(t.metric.startswith("metrics.counters.")
+               for t in report["thresholds"]), \
+        "pinned benchmarks/thresholds/efficiency.json was not picked up"
     assert passed(report["clean_verdicts"]), \
         render_verdict_table(report["clean_verdicts"])
     assert not passed(report["slowed_verdicts"]), \

@@ -32,6 +32,16 @@ dense eigenpairs are memoized, with traffic on the ``cache.spmm_t.*`` /
 ``cache.norm_adj.*`` / ``cache.eig.*`` counters. ``--no-cache`` bypasses
 every cache (the baseline mode used to measure the cache's own FLOP/byte
 delta with ``ops.spmm.*`` / ``ops.eig.*``).
+
+Parallelism: the grid sweeps (``efficiency``, ``effectiveness``, ``hops``)
+accept ``--workers N`` to fan their dataset×filter cells out to a process
+pool (:mod:`repro.runtime.pool`) with per-cell ``--cell-timeout`` and
+``--max-retries`` crash isolation. Results are bit-identical to a serial
+run (deterministic seeds, grid-order reassembly) and worker telemetry
+shards are folded into the parent run, so ``--trace`` and the registry
+record one coherent run annotated with the worker count::
+
+    python -m repro.bench efficiency --workers 4 --cell-timeout 600
 """
 
 from __future__ import annotations
@@ -43,6 +53,7 @@ from typing import Dict
 
 from .. import telemetry
 from ..runtime import cache as runtime_cache
+from ..runtime.pool import PoolConfig
 from ..training.loop import TrainConfig
 from . import experiments
 from .report import render_run_telemetry, render_table
@@ -63,6 +74,9 @@ EXPERIMENTS: Dict[str, tuple] = {
     "degree-bias": (experiments.degree_bias_experiment, "Figure 9", True),
     "normalization": (experiments.normalization_experiment, "Figure 10", True),
 }
+
+#: Experiments whose grids run through the process-pool executor.
+POOLED_EXPERIMENTS = ("efficiency", "effectiveness", "hops")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -85,6 +99,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="dataset scale override")
     parser.add_argument("--capacity-gib", type=float, default=None,
                         help="simulated device capacity (GiB)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="process-pool size for the grid sweeps "
+                             f"({', '.join(POOLED_EXPERIMENTS)}); 1 = "
+                             "serial in-process execution (default)")
+    parser.add_argument("--cell-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-cell wall-clock budget; a timed-out "
+                             "worker is terminated and the cell retried "
+                             "(pool mode only)")
+    parser.add_argument("--max-retries", type=int, default=1, metavar="K",
+                        help="extra attempts for a crashed/timed-out cell "
+                             "before it is reported failed (default 1; "
+                             "pool mode only)")
+    parser.add_argument("--root-seed", type=int, default=None,
+                        help="derive per-cell repeat seeds as "
+                             "f(root_seed, dataset, filter, repeat) "
+                             "(effectiveness only; default: literal "
+                             "--seeds)")
     parser.add_argument("--output", type=str, default=None,
                         help="save rows as JSON to this path")
     parser.add_argument("--trace", type=str, default=None, metavar="PATH",
@@ -129,8 +161,10 @@ def build_compare_parser() -> argparse.ArgumentParser:
                              "non-zero on any failure")
     parser.add_argument("--thresholds", type=str, default=None,
                         metavar="FILE",
-                        help="JSON threshold file (default: stock stage "
-                             "time/RAM thresholds)")
+                        help="JSON threshold file (default: the pinned "
+                             "benchmarks/thresholds/<experiment>.json, "
+                             "falling back to the stock stage time/RAM "
+                             "thresholds)")
     return parser
 
 
@@ -175,6 +209,7 @@ def _compare_files(args) -> int:
 def _compare_registry(args) -> int:
     from ..errors import ReproError
     from ..telemetry.regression import (evaluate_pair, load_thresholds,
+                                        pinned_thresholds,
                                         render_verdict_table)
     from ..telemetry.report import render_run_diff
     from ..telemetry.sinks import load_events
@@ -203,8 +238,8 @@ def _compare_registry(args) -> int:
                               load_events(trace_paths[1])))
 
     if args.gate or args.thresholds:
-        thresholds = load_thresholds(args.thresholds) \
-            if args.thresholds else None
+        thresholds = load_thresholds(args.thresholds) if args.thresholds \
+            else pinned_thresholds(candidate.experiment)
         verdicts = evaluate_pair(baseline, candidate, thresholds)
         print()
         print(render_verdict_table(verdicts))
@@ -260,6 +295,22 @@ def main(argv=None) -> int:
     if not takes_config and args.epochs is not None:
         kwargs["epochs"] = args.epochs
 
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+    pool_requested = (args.workers != 1 or args.cell_timeout is not None
+                      or args.max_retries != 1)
+    if args.experiment in POOLED_EXPERIMENTS:
+        kwargs["pool"] = PoolConfig(workers=args.workers,
+                                    cell_timeout=args.cell_timeout,
+                                    max_retries=args.max_retries)
+    elif pool_requested:
+        parser.error(f"--workers/--cell-timeout/--max-retries apply to "
+                     f"the grid sweeps only ({', '.join(POOLED_EXPERIMENTS)})")
+    if args.root_seed is not None:
+        if args.experiment != "effectiveness":
+            parser.error("--root-seed applies to effectiveness only")
+        kwargs["root_seed"] = args.root_seed
+
     telemetry_on = not args.no_telemetry
     if telemetry_on:
         telemetry.configure(trace_path=args.trace)
@@ -289,7 +340,8 @@ def main(argv=None) -> int:
             config=kwargs.get("config"),
             seed=(args.seeds[0] if args.seeds else None),
             extra={"experiment": args.experiment, "artifact": artifact,
-                   "cache": not args.no_cache, "argv": argv})
+                   "cache": not args.no_cache, "argv": argv,
+                   "workers": args.workers})
     if args.output:
         from .io import save_rows
 
@@ -306,10 +358,16 @@ def main(argv=None) -> int:
     if run_manifest is not None and not args.no_registry:
         from .io import summarize_rows
 
+        pool_info = None
+        if args.experiment in POOLED_EXPERIMENTS:
+            pool_info = {"workers": args.workers,
+                         "cell_timeout": args.cell_timeout,
+                         "max_retries": args.max_retries}
         record = telemetry.record_run(
             run_manifest, events=events, summary=summarize_rows(printable),
             trace_path=args.trace, result_path=args.output,
-            registry_dir=args.registry_dir)
+            registry_dir=args.registry_dir,
+            workers=args.workers, pool=pool_info)
         registry_path = telemetry.default_registry_dir(args.registry_dir)
         print(f"registry: {registry_path}  "
               f"config={record.config_fingerprint}  run={record.run_id}")

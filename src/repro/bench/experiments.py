@@ -8,12 +8,23 @@ same axes, same cell formats — on synthetic stand-ins of the datasets
 Scaling: ``DEFAULT_SCALES`` maps each dataset's scale class to a fraction
 keeping the S < M < L ordering while staying CPU-feasible; pass
 ``scale_override`` (or per-call scales) to run closer to paper size.
+
+Parallelism: the grid experiments (``efficiency_experiment``,
+``effectiveness_experiment``, ``hop_sweep_experiment``) decompose their
+dataset×filter loops into self-contained cells executed through
+:func:`repro.runtime.pool.execute_cells`. With the default
+``pool=None``/``workers=1`` the cells run inline in grid order — the
+serial path — while ``PoolConfig(workers=N)`` fans them out to worker
+processes with bit-identical results (cells carry explicit seeds and are
+reassembled in grid order). A failed cell (worker crash or timeout, pool
+mode only) contributes a row with ``status="failed:<reason>"`` instead of
+aborting the sweep.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,6 +37,13 @@ from ..filters.registry import FILTER_NAMES, REGISTRY, make_filter
 from ..graph.graph import Graph
 from ..graph.metrics import degree_groups
 from ..runtime.hardware import PROFILES
+from ..runtime.pool import (
+    Cell,
+    CellResult,
+    PoolConfig,
+    derive_cell_seed,
+    execute_cells,
+)
 from ..spectral.tsne import cluster_separation, tsne
 from ..tasks.link_prediction import run_link_prediction
 from ..tasks.node_classification import run_node_classification, run_seeds
@@ -69,6 +87,127 @@ def _config_for(spec: DatasetSpec, base: Optional[TrainConfig],
                 seed: int = 0) -> TrainConfig:
     config = base or TrainConfig()
     return replace(config, metric=spec.metric, seed=seed)
+
+
+# ======================================================================
+# sweep cells (process-pool units; see repro.runtime.pool)
+# ======================================================================
+#: Per-process memo of synthesized graphs, so consecutive cells of one
+#: dataset share a single synthesis in serial mode (matching the historic
+#: one-load-per-dataset loops) and each worker process pays at most one
+#: synthesis per dataset it touches. Synthesis is deterministic in
+#: (spec, scale, seed), so memo hits are bit-identical to fresh loads.
+_GRAPH_MEMO: Dict[Tuple, Graph] = {}
+_GRAPH_MEMO_CAP = 4
+
+
+def _memo_load(name: str, scale: Optional[float], seed: int) -> Graph:
+    key = (name, scale, seed)
+    graph = _GRAPH_MEMO.get(key)
+    if graph is None:
+        if len(_GRAPH_MEMO) >= _GRAPH_MEMO_CAP:
+            _GRAPH_MEMO.pop(next(iter(_GRAPH_MEMO)))
+        graph = _GRAPH_MEMO[key] = load_dataset(name, scale, seed=seed)
+    return graph
+
+
+def _failure_row(result: CellResult, **coordinates) -> Dict:
+    """Placeholder row for a cell that exhausted its retries (pool mode)."""
+    row = dict(coordinates)
+    row["status"] = f"failed:{result.status}"
+    row["error"] = result.error
+    return row
+
+
+def _pooled_rows(cells: Sequence[Cell], pool: Optional[PoolConfig],
+                 failure_keys: Sequence[str]) -> List[Dict]:
+    """Execute cells and reassemble rows in grid order.
+
+    Successful cells contribute their row lists; failed ones (pool mode
+    only — inline cells propagate) contribute one failure row built from
+    the cell key zipped with ``failure_keys``.
+    """
+    rows: List[Dict] = []
+    for result in execute_cells(cells, pool):
+        if result.ok:
+            rows.extend(result.value)
+        else:
+            rows.append(_failure_row(
+                result, **dict(zip(failure_keys, result.key))))
+    return rows
+
+
+def _efficiency_cell(dataset_name: str, filter_name: str, scheme: str,
+                     config: TrainConfig, scale_override: Optional[float],
+                     device_capacity_gib: Optional[float],
+                     seed: int) -> List[Dict]:
+    """One (dataset, scheme, filter) cell of the Figure 2 efficiency grid."""
+    spec = get_spec(dataset_name)
+    graph = _memo_load(dataset_name, scale_override, seed)
+    run_config = _config_for(spec, config, seed)
+    result = run_node_classification(
+        graph, filter_name, scheme=scheme, config=run_config,
+        device_capacity_gib=device_capacity_gib)
+    return [
+        {
+            "dataset": dataset_name,
+            "n": graph.num_nodes,
+            "m": graph.num_edges,
+            "filter": REGISTRY[filter_name].display,
+            "type": REGISTRY[filter_name].category,
+            "scheme": scheme,
+            "status": result.status,
+            "precompute_s": result.precompute_seconds,
+            "train_s_per_epoch": result.train_seconds_per_epoch,
+            "inference_s": result.inference_seconds,
+            "ram_bytes": result.ram_peak_bytes,
+            "device_bytes": result.device_peak_bytes,
+        }
+    ]
+
+
+def _effectiveness_cell(dataset_name: str, filter_name: str, scheme: str,
+                        seeds: Sequence[int], config: TrainConfig,
+                        scale_override: Optional[float]) -> List[Dict]:
+    """One (dataset, filter) cell of the Table 5/10 effectiveness grid."""
+    spec = get_spec(dataset_name)
+    graph = _memo_load(dataset_name, scale_override, 0)
+    run_config = _config_for(spec, config)
+    summary = run_seeds(graph, filter_name, scheme=scheme,
+                        config=run_config, seeds=tuple(seeds))
+    return [
+        {
+            "dataset": dataset_name,
+            "homophily_class": spec.homophily_class,
+            "filter": REGISTRY[filter_name].display,
+            "type": REGISTRY[filter_name].category,
+            "scheme": scheme,
+            "status": summary.status,
+            "mean": summary.mean,
+            "std": summary.std,
+            "cell": summary.cell(),
+        }
+    ]
+
+
+def _hop_cell(dataset_name: str, filter_name: str, num_hops: int,
+              seeds: Sequence[int], config: TrainConfig) -> List[Dict]:
+    """One (dataset, filter, K) cell of the Figure 7 hop sweep."""
+    spec = get_spec(dataset_name)
+    graph = _memo_load(dataset_name, None, 0)
+    run_config = _config_for(spec, config)
+    summary = run_seeds(graph, filter_name, scheme="full_batch",
+                        config=run_config, seeds=tuple(seeds),
+                        num_hops=num_hops)
+    return [
+        {
+            "dataset": dataset_name,
+            "homophily_class": spec.homophily_class,
+            "filter": REGISTRY[filter_name].display,
+            "K": num_hops,
+            "accuracy": summary.mean,
+        }
+    ]
 
 
 # ======================================================================
@@ -118,40 +257,28 @@ def efficiency_experiment(
     scale_override: Optional[float] = None,
     device_capacity_gib: Optional[float] = None,
     seed: int = 0,
+    pool: Optional[PoolConfig] = None,
 ) -> List[Dict]:
     """Per-(dataset, filter, scheme) stage timings and memory peaks.
 
     With a finite ``device_capacity_gib``, memory-hungry full-batch runs
-    report ``status="oom"`` — the empty bars of Figure 2.
+    report ``status="oom"`` — the empty bars of Figure 2. ``pool`` fans
+    the (dataset, scheme, filter) cells out to worker processes
+    (:mod:`repro.runtime.pool`); the default runs them inline, serially.
     """
     base = config or TrainConfig(epochs=5, patience=0, eval_every=10)
-    rows = []
-    for dataset_name in dataset_names:
-        spec = get_spec(dataset_name)
-        graph = load_dataset(dataset_name, scale_override, seed=seed)
-        run_config = _config_for(spec, base, seed)
-        for scheme in schemes:
-            for filter_name in filters:
-                result = run_node_classification(
-                    graph, filter_name, scheme=scheme, config=run_config,
-                    device_capacity_gib=device_capacity_gib)
-                rows.append(
-                    {
-                        "dataset": dataset_name,
-                        "n": graph.num_nodes,
-                        "m": graph.num_edges,
-                        "filter": REGISTRY[filter_name].display,
-                        "type": REGISTRY[filter_name].category,
-                        "scheme": scheme,
-                        "status": result.status,
-                        "precompute_s": result.precompute_seconds,
-                        "train_s_per_epoch": result.train_seconds_per_epoch,
-                        "inference_s": result.inference_seconds,
-                        "ram_bytes": result.ram_peak_bytes,
-                        "device_bytes": result.device_peak_bytes,
-                    }
-                )
-    return rows
+    cells = [
+        Cell(key=(dataset_name, scheme, filter_name),
+             fn=_efficiency_cell,
+             kwargs=dict(dataset_name=dataset_name, filter_name=filter_name,
+                         scheme=scheme, config=base,
+                         scale_override=scale_override,
+                         device_capacity_gib=device_capacity_gib, seed=seed))
+        for dataset_name in dataset_names
+        for scheme in schemes
+        for filter_name in filters
+    ]
+    return _pooled_rows(cells, pool, ("dataset", "scheme", "filter"))
 
 
 # ======================================================================
@@ -164,31 +291,38 @@ def effectiveness_experiment(
     seeds: Sequence[int] = (0, 1, 2),
     config: Optional[TrainConfig] = None,
     scale_override: Optional[float] = None,
+    pool: Optional[PoolConfig] = None,
+    root_seed: Optional[int] = None,
 ) -> List[Dict]:
-    """Mean±std efficacy cells for filters × datasets under one scheme."""
+    """Mean±std efficacy cells for filters × datasets under one scheme.
+
+    ``pool`` distributes the (dataset, filter) cells across worker
+    processes; each cell's repeats keep their explicit ``seeds``, so the
+    mean±std cells are bit-identical across worker counts. With
+    ``root_seed`` set, the repeat seeds are instead *derived* per cell as
+    ``derive_cell_seed(root_seed, dataset, filter, repeat)`` — decorrelating
+    repeats across cells while staying independent of worker scheduling
+    (``len(seeds)`` then only fixes the repeat count).
+    """
     base = config or TrainConfig(epochs=60, patience=30)
-    rows = []
-    for dataset_name in dataset_names:
-        spec = get_spec(dataset_name)
-        graph = load_dataset(dataset_name, scale_override, seed=0)
-        run_config = _config_for(spec, base)
-        for filter_name in filters:
-            summary = run_seeds(graph, filter_name, scheme=scheme,
-                                config=run_config, seeds=seeds)
-            rows.append(
-                {
-                    "dataset": dataset_name,
-                    "homophily_class": spec.homophily_class,
-                    "filter": REGISTRY[filter_name].display,
-                    "type": REGISTRY[filter_name].category,
-                    "scheme": scheme,
-                    "status": summary.status,
-                    "mean": summary.mean,
-                    "std": summary.std,
-                    "cell": summary.cell(),
-                }
-            )
-    return rows
+
+    def cell_seeds(dataset_name: str, filter_name: str) -> Tuple[int, ...]:
+        if root_seed is None:
+            return tuple(seeds)
+        return tuple(derive_cell_seed(root_seed, dataset_name, filter_name,
+                                      repeat) for repeat in range(len(seeds)))
+
+    cells = [
+        Cell(key=(dataset_name, scheme, filter_name),
+             fn=_effectiveness_cell,
+             kwargs=dict(dataset_name=dataset_name, filter_name=filter_name,
+                         scheme=scheme,
+                         seeds=cell_seeds(dataset_name, filter_name),
+                         config=base, scale_override=scale_override))
+        for dataset_name in dataset_names
+        for filter_name in filters
+    ]
+    return _pooled_rows(cells, pool, ("dataset", "scheme", "filter"))
 
 
 # ======================================================================
@@ -395,29 +529,24 @@ def hop_sweep_experiment(
     hops: Sequence[int] = (2, 4, 6, 10, 14, 20),
     config: Optional[TrainConfig] = None,
     seeds: Sequence[int] = (0, 1),
+    pool: Optional[PoolConfig] = None,
 ) -> List[Dict]:
-    """Accuracy vs K: over-smoothing of low-pass filters at large K."""
+    """Accuracy vs K: over-smoothing of low-pass filters at large K.
+
+    ``pool`` distributes the (dataset, filter, K) cells across worker
+    processes; the default runs them inline, serially.
+    """
     base = config or TrainConfig(epochs=60, patience=30)
-    rows = []
-    for dataset_name in dataset_names:
-        spec = get_spec(dataset_name)
-        graph = load_dataset(dataset_name, seed=0)
-        run_config = _config_for(spec, base)
-        for filter_name in filters:
-            for num_hops in hops:
-                summary = run_seeds(graph, filter_name, scheme="full_batch",
-                                    config=run_config, seeds=seeds,
-                                    num_hops=num_hops)
-                rows.append(
-                    {
-                        "dataset": dataset_name,
-                        "homophily_class": spec.homophily_class,
-                        "filter": REGISTRY[filter_name].display,
-                        "K": num_hops,
-                        "accuracy": summary.mean,
-                    }
-                )
-    return rows
+    cells = [
+        Cell(key=(dataset_name, filter_name, num_hops),
+             fn=_hop_cell,
+             kwargs=dict(dataset_name=dataset_name, filter_name=filter_name,
+                         num_hops=num_hops, seeds=tuple(seeds), config=base))
+        for dataset_name in dataset_names
+        for filter_name in filters
+        for num_hops in hops
+    ]
+    return _pooled_rows(cells, pool, ("dataset", "filter", "K"))
 
 
 # ======================================================================

@@ -15,6 +15,7 @@ that produced it. JSONL telemetry traces round-trip through
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
@@ -120,6 +121,57 @@ def summarize_rows(rows: Sequence[Mapping]) -> Dict[str, float]:
             sums[name] = sums.get(name, 0.0) + float(value)
             counts[name] = counts.get(name, 0) + 1
     return {name: sums[name] / counts[name] for name in sorted(sums)}
+
+
+#: Row keys that measure *this execution* rather than the configuration:
+#: wall-clock timings (``*_s``, ``*_s_per_epoch``, ``*seconds*``), host
+#: RSS peaks (``ram_bytes`` — :func:`resource.getrusage` is process- and
+#: scheduling-dependent), file paths, and timestamps. Everything else in
+#: a result row — scores, statuses, graph sizes, modeled device bytes,
+#: FLOP counts — is a deterministic function of the configuration and
+#: must be identical across worker counts.
+_NONDETERMINISTIC_KEY_RE = re.compile(
+    r"(_s$|_s_per_epoch$|seconds|_path$|^ram_bytes$|^timestamp)")
+
+#: Telemetry counters that are invariant to caching and scheduling: the
+#: engine op counters (every matmul/spmm/elementwise the model executes)
+#: plus the pool's completed-cell count. Cache-traffic counters
+#: (``cache.*``, ``ops.spmm.transpose_*``, ``ops.eig.*``) are excluded —
+#: per-process memos legitimately hit/miss differently between serial and
+#: parallel execution without perturbing a single result bit.
+_DETERMINISTIC_COUNTER_RE = re.compile(
+    r"^(ops\.(matmul|spmm|ewise)\.(calls|flops|bytes)|pool\.cells\.ok)$")
+
+
+def canonical_rows(rows: Sequence[Mapping]) -> List[Dict]:
+    """Strip execution-dependent fields, keeping the deterministic payload.
+
+    The serial≡parallel gate (``bench-parallel`` CI job) compares sweeps
+    run with different ``--workers`` after this normalization: two runs
+    of one configuration must agree byte-for-byte on everything left.
+    """
+    return [
+        {key: _jsonify(value) for key, value in row.items()
+         if not _NONDETERMINISTIC_KEY_RE.search(key)}
+        for row in rows
+    ]
+
+
+def canonical_payload(rows: Sequence[Mapping]) -> bytes:
+    """Stable bytes of :func:`canonical_rows` (sorted keys, no whitespace)."""
+    return json.dumps(canonical_rows(rows), sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def deterministic_counters(counters: Mapping) -> Dict[str, float]:
+    """The schedule-invariant subset of a run's telemetry counters.
+
+    Serial and parallel runs of one configuration must agree exactly on
+    these (op calls/FLOPs/bytes); see :data:`_DETERMINISTIC_COUNTER_RE`
+    for why cache-traffic counters are not held to that standard.
+    """
+    return {name: value for name, value in sorted(counters.items())
+            if _DETERMINISTIC_COUNTER_RE.match(name)}
 
 
 def save_jsonl(records: Sequence[Mapping], path: PathLike) -> None:

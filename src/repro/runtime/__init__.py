@@ -1,5 +1,6 @@
 """Execution-environment simulation: device memory, profiling, hardware,
-and the instrumented sparse-compute cache layer."""
+the instrumented sparse-compute cache layer, and the process-pool grid
+executor for parallel benchmark sweeps."""
 
 from .cache import (
     MISSING,
@@ -18,6 +19,14 @@ from .cache import (
 )
 from .device import GIBIBYTE, DeviceModel, nbytes_of
 from .hardware import PROFILES, S1, S2, HardwareProfile
+from .pool import (
+    Cell,
+    CellResult,
+    PoolConfig,
+    derive_cell_seed,
+    execute_cells,
+    pool_stats,
+)
 from .profiler import StageProfiler, StageStats
 
 __all__ = [
@@ -44,4 +53,11 @@ __all__ = [
     "transpose_build_count",
     "transpose_cache_stats",
     "transpose_csr",
+    # parallel sweep executor
+    "Cell",
+    "CellResult",
+    "PoolConfig",
+    "derive_cell_seed",
+    "execute_cells",
+    "pool_stats",
 ]

@@ -1,0 +1,355 @@
+"""Process-pool grid executor for embarrassingly parallel sweeps.
+
+Every (dataset, filter, scheme) cell of the paper's sweep grids is an
+independent train/eval run, so the benchmark harness fans them out to
+``multiprocessing`` workers. The executor is built around three
+guarantees the benchmark methodology depends on:
+
+- **Determinism** — a cell's randomness is a pure function of *what* the
+  cell is, never of *where or when* it runs. Cells carry explicit seeds
+  (or derive them via :func:`derive_cell_seed`, a stable hash of the root
+  seed and the cell coordinates), results are assembled in cell-list
+  order regardless of completion order, and telemetry shards are folded
+  in that same order. ``workers=N`` therefore produces results
+  bit-identical to ``workers=1``, which the ``bench-parallel`` CI job
+  enforces on every PR.
+- **Crash isolation** — each cell attempt runs in its own worker process.
+  A raising, segfaulting, or hanging worker marks *its* cell failed
+  (after a bounded number of retries) without aborting sibling cells; the
+  sweep completes and reports partial results.
+- **Telemetry fold-in** — each worker runs under its own tracer and
+  :class:`~repro.telemetry.metrics.MetricsRegistry`; the shard (span
+  events + metrics state) ships back through the result pipe and the
+  parent merges it via :func:`repro.telemetry.fold_shard`, so op
+  counters, histograms, and the trace file describe the whole sweep as
+  one coherent run. Only the *successful* attempt of a cell contributes
+  telemetry — a retried attempt's partial counters are discarded, which
+  is what keeps merged totals equal to a serial run's.
+
+Caches (:mod:`repro.runtime.cache`) are per-process by construction: a
+worker inherits (fork) or rebuilds (spawn) its own memos, and cache hits
+only ever substitute bit-identical values, so cell numerics are
+cache-schedule-invariant even though ``cache.*`` hit counts differ
+between execution modes.
+
+With ``workers=1`` (the default) no subprocess machinery is involved at
+all: cells run inline, in order, in the calling process — the exact
+serial path, where a raising cell propagates like any other exception.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Terminal cell statuses.
+OK = "ok"
+ERROR = "error"        # the cell function raised inside the worker
+CRASHED = "crashed"    # the worker died without reporting (segfault, _exit)
+TIMEOUT = "timeout"    # the attempt exceeded ``cell_timeout`` seconds
+
+FAILURE_STATUSES = (ERROR, CRASHED, TIMEOUT)
+
+#: Seeds stay within the range every numpy BitGenerator accepts.
+_SEED_MODULUS = 2 ** 31 - 1
+
+
+def derive_cell_seed(root_seed: int, *coordinates) -> int:
+    """Deterministic per-cell seed: a pure function of root seed + cell.
+
+    Hashes ``(root_seed, *coordinates)`` — e.g. ``(0, "cora", "ppr", 2)``
+    for repeat 2 of the (cora, ppr) cell — with SHA-256 and folds the
+    digest into ``[0, 2**31 - 1)``. The derivation never sees worker ids,
+    scheduling order, or wall-clock time, so a cell draws the same seed
+    whether the sweep runs serially, on 4 workers, or resumes after a
+    retry; distinct coordinates get (with overwhelming probability)
+    distinct seeds.
+    """
+    payload = json.dumps([int(root_seed), *[str(c) for c in coordinates]],
+                         separators=(",", ":"))
+    digest = hashlib.sha256(payload.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % _SEED_MODULUS
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent unit of a sweep grid.
+
+    ``fn`` must be a module-level callable (picklable under the spawn
+    start method) and fully self-contained: everything the cell needs —
+    dataset name, filter, config, seed — travels in ``kwargs`` so the
+    cell computes the same value in any process.
+    """
+
+    key: Tuple
+    fn: Callable[..., Any]
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        return "/".join(str(part) for part in self.key)
+
+
+@dataclass(frozen=True)
+class PoolConfig:
+    """Execution policy for :func:`execute_cells`.
+
+    Parameters
+    ----------
+    workers:
+        Process count. ``1`` (default) runs cells inline in the calling
+        process — the exact serial path, no subprocesses.
+    cell_timeout:
+        Per-attempt wall-clock budget in seconds; an attempt past it is
+        terminated and counts as a :data:`TIMEOUT` failure. ``None``
+        disables the limit. Ignored in inline mode.
+    max_retries:
+        Additional attempts after a failed one, so a cell runs at most
+        ``1 + max_retries`` times. Ignored in inline mode.
+    start_method:
+        ``multiprocessing`` start method; default prefers ``fork``
+        (cheap, inherits loaded modules) and falls back to ``spawn``.
+    poll_interval_s:
+        Scheduler sleep between liveness sweeps when nothing completed.
+    """
+
+    workers: int = 1
+    cell_timeout: Optional[float] = None
+    max_retries: int = 1
+    start_method: Optional[str] = None
+    poll_interval_s: float = 0.02
+
+
+@dataclass
+class CellResult:
+    """Outcome of one cell, in terminal state (succeeded or retries spent)."""
+
+    key: Tuple
+    status: str
+    value: Any = None
+    error: Optional[str] = None
+    attempts: int = 1
+    seconds: float = 0.0
+    worker_pid: Optional[int] = None
+    events: List[Dict] = field(default_factory=list)
+    metrics_state: Optional[Dict] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+    @property
+    def label(self) -> str:
+        return "/".join(str(part) for part in self.key)
+
+
+def pool_stats(results: Sequence[CellResult]) -> Dict[str, int]:
+    """Retry/failure accounting over a finished sweep (registry ``pool``)."""
+    stats = {
+        "cells": len(results),
+        "ok": sum(1 for r in results if r.ok),
+        "failed": sum(1 for r in results if not r.ok),
+        "attempts": sum(r.attempts for r in results),
+        "retries": sum(r.attempts - 1 for r in results),
+        "timeouts": sum(1 for r in results if r.status == TIMEOUT),
+    }
+    return stats
+
+
+# ======================================================================
+# worker side
+# ======================================================================
+def _cell_entry(conn, cell: Cell, telemetry_on: bool) -> None:
+    """Worker-process entry: run one cell, ship value + telemetry shard.
+
+    The worker reconfigures telemetry from scratch (dropping any tracer
+    state inherited through fork) so its shard contains exactly this
+    cell's spans and counters. Failures are reported as data — the
+    parent decides on retries; nothing propagates across the pipe as an
+    exception.
+    """
+    import os
+
+    payload: Dict[str, Any] = {"pid": os.getpid()}
+    try:
+        if telemetry_on:
+            from .. import telemetry
+
+            telemetry.shutdown()  # discard fork-inherited tracer state
+            tracer = telemetry.configure()
+            with telemetry.span("cell", cell=cell.label):
+                value = cell.fn(**cell.kwargs)
+            metrics_state = tracer.metrics.to_state()
+            events = telemetry.shutdown()
+            payload.update(ok=True, value=value, events=events,
+                           metrics=metrics_state)
+        else:
+            payload.update(ok=True, value=cell.fn(**cell.kwargs))
+    except BaseException as exc:  # noqa: BLE001 - crash isolation boundary
+        payload = {"pid": payload.get("pid"), "ok": False,
+                   "error": f"{type(exc).__name__}: {exc}"}
+    try:
+        conn.send(payload)
+    except Exception:
+        pass  # parent gone or payload unpicklable; parent sees a crash
+    finally:
+        conn.close()
+
+
+# ======================================================================
+# parent side
+# ======================================================================
+@dataclass
+class _Attempt:
+    proc: Any
+    conn: Any
+    attempt: int
+    deadline: Optional[float]
+    started: float
+
+
+def _default_start_method() -> str:
+    import multiprocessing as mp
+
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+def execute_cells(cells: Sequence[Cell],
+                  config: Optional[PoolConfig] = None) -> List[CellResult]:
+    """Run a cell list under the given policy; results in cell-list order.
+
+    ``workers=1`` executes inline (serial semantics: exceptions
+    propagate); ``workers>1`` fans out to worker processes with timeout,
+    bounded retry, and crash isolation, then folds each successful cell's
+    telemetry shard into the active run in deterministic cell order.
+    """
+    config = config or PoolConfig()
+    cells = list(cells)
+    if config.workers <= 1:
+        return [_run_inline(cell) for cell in cells]
+    return _run_pooled(cells, config)
+
+
+def _run_inline(cell: Cell) -> CellResult:
+    from .. import telemetry
+
+    started = time.perf_counter()
+    with telemetry.span("cell", cell=cell.label):
+        value = cell.fn(**cell.kwargs)
+    telemetry.inc_counter("pool.cells.ok")
+    return CellResult(key=cell.key, status=OK, value=value, attempts=1,
+                      seconds=time.perf_counter() - started)
+
+
+def _run_pooled(cells: List[Cell], config: PoolConfig) -> List[CellResult]:
+    import multiprocessing as mp
+
+    from .. import telemetry
+
+    ctx = mp.get_context(config.start_method or _default_start_method())
+    telemetry_on = telemetry.enabled()
+    results: List[Optional[CellResult]] = [None] * len(cells)
+    pending = deque((index, 1) for index in range(len(cells)))
+    active: Dict[int, _Attempt] = {}
+
+    def retire(index: int, attempt: _Attempt) -> None:
+        try:
+            attempt.conn.close()
+        except OSError:
+            pass
+        attempt.proc.join()
+        del active[index]
+
+    def fail_or_retry(index: int, attempt: _Attempt, status: str,
+                      error: str) -> None:
+        if attempt.attempt <= config.max_retries:
+            telemetry.inc_counter("pool.cells.retried")
+            pending.append((index, attempt.attempt + 1))
+            return
+        results[index] = CellResult(
+            key=cells[index].key, status=status, error=error,
+            attempts=attempt.attempt,
+            seconds=time.monotonic() - attempt.started)
+        telemetry.inc_counter("pool.cells.failed")
+        telemetry.inc_counter(f"pool.cells.{status}")
+
+    while pending or active:
+        while pending and len(active) < config.workers:
+            index, attempt_no = pending.popleft()
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            proc = ctx.Process(target=_cell_entry,
+                               args=(child_conn, cells[index], telemetry_on),
+                               daemon=True)
+            proc.start()
+            child_conn.close()
+            now = time.monotonic()
+            deadline = now + config.cell_timeout \
+                if config.cell_timeout is not None else None
+            active[index] = _Attempt(proc=proc, conn=parent_conn,
+                                     attempt=attempt_no, deadline=deadline,
+                                     started=now)
+
+        progressed = False
+        for index, attempt in list(active.items()):
+            has_message = attempt.conn.poll(0)
+            if not has_message and not attempt.proc.is_alive():
+                # Exited between polls: grant a grace poll for a message
+                # that was in flight when the process finished.
+                has_message = attempt.conn.poll(0.2)
+            if has_message:
+                try:
+                    payload = attempt.conn.recv()
+                except (EOFError, OSError):
+                    payload = None  # pipe sheared mid-message: a crash
+                progressed = True
+                if payload is not None and payload.get("ok"):
+                    results[index] = CellResult(
+                        key=cells[index].key, status=OK,
+                        value=payload.get("value"),
+                        attempts=attempt.attempt,
+                        seconds=time.monotonic() - attempt.started,
+                        worker_pid=payload.get("pid"),
+                        events=list(payload.get("events") or ()),
+                        metrics_state=payload.get("metrics"))
+                    telemetry.inc_counter("pool.cells.ok")
+                    retire(index, attempt)
+                elif payload is not None:
+                    error = payload.get("error") or "cell raised"
+                    retire(index, attempt)
+                    fail_or_retry(index, attempt, ERROR, error)
+                else:
+                    exitcode = attempt.proc.exitcode
+                    retire(index, attempt)
+                    fail_or_retry(index, attempt, CRASHED,
+                                  "worker sheared its result pipe "
+                                  f"(exitcode {exitcode})")
+            elif not attempt.proc.is_alive():
+                exitcode = attempt.proc.exitcode
+                progressed = True
+                retire(index, attempt)
+                fail_or_retry(index, attempt, CRASHED,
+                              f"worker died without reporting "
+                              f"(exitcode {exitcode})")
+            elif attempt.deadline is not None \
+                    and time.monotonic() > attempt.deadline:
+                attempt.proc.terminate()
+                progressed = True
+                retire(index, attempt)
+                fail_or_retry(index, attempt, TIMEOUT,
+                              f"cell exceeded {config.cell_timeout:g}s "
+                              f"timeout")
+        if not progressed:
+            time.sleep(config.poll_interval_s)
+
+    # Fold telemetry shards in cell-list order — never completion order —
+    # so merged histograms and the trace are schedule-independent.
+    finished = [result for result in results if result is not None]
+    for result in finished:
+        if result.ok and (result.events or result.metrics_state):
+            telemetry.fold_shard(result.events, result.metrics_state,
+                                 label=result.label)
+    return finished

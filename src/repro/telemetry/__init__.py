@@ -172,6 +172,59 @@ def emit_event(event_type: str, **fields) -> None:
         _tracer.emit_event(event_type, **fields)
 
 
+def fold_shard(events: Optional[List[Dict]] = None,
+               metrics_state: Optional[Dict] = None,
+               label: Optional[str] = None) -> None:
+    """Fold one worker shard into the active run (no-op while disabled).
+
+    A sweep worker (:mod:`repro.runtime.pool`) runs under its own tracer
+    and registry; this folds what it shipped back into the parent's:
+
+    - ``metrics_state`` (a :meth:`MetricsRegistry.to_state` dict) merges
+      via :meth:`MetricsRegistry.merge_from` — counters add, gauges keep
+      the max peak, histograms combine deterministically.
+    - ``events`` are re-emitted onto the parent sink with span ids
+      remapped to parent-unique ids, the worker's root spans re-parented
+      under the parent's current span, depths shifted accordingly, and
+      (when given) a ``shard`` label attached — the merged trace reads as
+      one coherent run. The worker's final ``metrics`` snapshot event is
+      dropped: the parent emits its own merged snapshot at close.
+
+    Fold shards in deterministic (cell-list) order: counter merging is
+    commutative, but trace event order — and therefore the bytes of the
+    trace file — is whatever order shards were folded in.
+    """
+    if _tracer is None:
+        return
+    if metrics_state:
+        _tracer.metrics.merge_from(MetricsRegistry.from_state(metrics_state))
+    if not events:
+        return
+    current = _tracer.current_span()
+    base_parent = current.span_id if current is not None else None
+    base_depth = current.depth + 1 if current is not None else 0
+    id_map: Dict[int, int] = {}
+    for event in events:
+        if event.get("type") == "span" and event.get("id") is not None:
+            id_map[event["id"]] = _tracer.next_span_id()
+    for event in events:
+        if event.get("type") == "metrics":
+            continue
+        event = dict(event)
+        if event.get("type") == "span":
+            event["id"] = id_map.get(event.get("id"), event.get("id"))
+            parent = event.get("parent")
+            event["parent"] = id_map.get(parent, base_parent)
+            event["depth"] = int(event.get("depth", 0)) + base_depth
+            if label is not None:
+                attrs = dict(event.get("attrs") or {})
+                attrs.setdefault("shard", label)
+                event["attrs"] = attrs
+        elif event.get("span") in id_map:
+            event["span"] = id_map[event["span"]]
+        _tracer.sink.emit(event)
+
+
 def set_gauge(name: str, value: float) -> None:
     """Set a gauge on the active registry (no-op while disabled)."""
     if _tracer is not None:
@@ -200,6 +253,7 @@ __all__ = [
     # recording
     "span",
     "emit_event",
+    "fold_shard",
     "set_gauge",
     "inc_counter",
     "observe",

@@ -185,6 +185,39 @@ class Histogram:
             samples[-1] = self.max_value
         return samples
 
+    def to_state(self) -> Dict:
+        """Full serializable state (reservoir included, unlike ``summary``).
+
+        The lossless wire format worker processes use to ship their
+        histogram shards to the sweep parent, where
+        :meth:`from_state` rebuilds an equivalent histogram for
+        :meth:`merge`.
+        """
+        with self._lock:
+            return {
+                "name": self.name,
+                "max_samples": self.max_samples,
+                "count": self.count,
+                "total": self.total,
+                "min": self.min_value,
+                "max": self.max_value,
+                "samples": list(self._samples),
+                "stride": self._stride,
+            }
+
+    @classmethod
+    def from_state(cls, state: Dict) -> "Histogram":
+        """Rebuild a histogram from :meth:`to_state` output."""
+        histogram = cls(state["name"],
+                        max_samples=int(state.get("max_samples", 1024)))
+        histogram.count = int(state.get("count", 0))
+        histogram.total = float(state.get("total", 0.0))
+        histogram.min_value = float(state.get("min", float("inf")))
+        histogram.max_value = float(state.get("max", float("-inf")))
+        histogram._samples = [float(v) for v in state.get("samples", ())]
+        histogram._stride = max(1, int(state.get("stride", 1)))
+        return histogram
+
 
 class MetricsRegistry:
     """Get-or-create registry of named counters, gauges, and histograms."""
@@ -241,6 +274,40 @@ class MetricsRegistry:
                         name, histogram.max_samples)
                 self._histograms[name] = mine.merge(histogram)
         return self
+
+    def to_state(self) -> Dict[str, Dict]:
+        """Lossless serializable state of every metric (cf. ``snapshot``).
+
+        Unlike :meth:`snapshot` — a human/JSON-facing summary — the state
+        keeps histogram reservoirs and strides, so
+        ``MetricsRegistry.from_state(reg.to_state())`` yields a registry
+        that merges (:meth:`merge_from`) exactly like the original. This
+        is how worker processes ship their shards across the result pipe:
+        locks make the registry itself unpicklable, its state is plain
+        data.
+        """
+        return {
+            "counters": {n: c.value
+                         for n, c in sorted(self._counters.items())},
+            "gauges": {n: {"value": g.value, "max": g.max_value}
+                       for n, g in sorted(self._gauges.items())},
+            "histograms": {n: h.to_state()
+                           for n, h in sorted(self._histograms.items())},
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_state` output."""
+        registry = cls()
+        for name, value in (state.get("counters") or {}).items():
+            registry.counter(name).value = value
+        for name, payload in (state.get("gauges") or {}).items():
+            gauge = registry.gauge(name)
+            gauge.value = payload.get("value", 0.0)
+            gauge.max_value = payload.get("max", float("-inf"))
+        for name, payload in (state.get("histograms") or {}).items():
+            registry._histograms[name] = Histogram.from_state(payload)
+        return registry
 
     def snapshot(self) -> Dict[str, Dict]:
         """Plain-dict view of every metric, ready for JSON serialization."""

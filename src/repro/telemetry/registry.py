@@ -39,7 +39,10 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 PathLike = Union[str, Path]
 
-REGISTRY_SCHEMA = "repro.telemetry.registry/v1"
+#: Record schema. v2 (PR 4) added the ``workers`` count and the ``pool``
+#: execution-policy block for parallel sweeps; v1 lines (no such keys)
+#: still load — :meth:`RunRecord.from_dict` fills the serial defaults.
+REGISTRY_SCHEMA = "repro.telemetry.registry/v2"
 
 #: File name of the append-only index inside the registry directory.
 REGISTRY_FILENAME = "runs.jsonl"
@@ -101,6 +104,15 @@ class RunRecord:
     git_sha: Optional[str] = None
     experiment: Optional[str] = None
     seed: Optional[int] = None
+    #: Process-pool width the sweep ran with (1 = serial; pre-v2 records
+    #: load as 1). Deliberately outside the config fingerprint: worker
+    #: count must not change *what* was measured, and the determinism
+    #: gate relies on serial/parallel runs sharing a fingerprint.
+    workers: int = 1
+    #: Pool execution policy + outcome accounting (empty for serial runs
+    #: and pre-v2 records): workers, cell_timeout, max_retries, and any
+    #: :func:`repro.runtime.pool.pool_stats` fields the caller attached.
+    pool: Dict = field(default_factory=dict)
     metrics: Dict = field(default_factory=dict)
     stages: Dict = field(default_factory=dict)
     summary: Dict = field(default_factory=dict)
@@ -124,12 +136,16 @@ def build_record(
     trace_path: Optional[PathLike] = None,
     result_path: Optional[PathLike] = None,
     timestamp: Optional[float] = None,
+    workers: int = 1,
+    pool: Optional[Mapping] = None,
 ) -> RunRecord:
     """Assemble a :class:`RunRecord` from a manifest plus run snapshots.
 
     ``metrics`` is a :meth:`MetricsRegistry.snapshot` dict, ``stages`` a
     :func:`repro.telemetry.report.aggregate_spans` dict, and ``summary``
     any flat name → number map (e.g. column means of the result rows).
+    ``workers``/``pool`` annotate parallel sweeps (schema v2): the pool
+    width and its execution policy / retry accounting.
     """
     timestamp = time.time() if timestamp is None else float(timestamp)
     fingerprint = config_fingerprint(manifest)
@@ -145,6 +161,8 @@ def build_record(
         git_sha=manifest.get("git_sha"),
         experiment=manifest.get("experiment"),
         seed=manifest.get("seed"),
+        workers=int(workers),
+        pool=dict(pool or {}),
         metrics=dict(metrics or {}),
         stages={str(k): dict(v) for k, v in (stages or {}).items()},
         summary=dict(summary or {}),
@@ -324,6 +342,8 @@ def record_run(
     trace_path: Optional[PathLike] = None,
     result_path: Optional[PathLike] = None,
     registry_dir: Optional[PathLike] = None,
+    workers: int = 1,
+    pool: Optional[Mapping] = None,
 ) -> RunRecord:
     """One-call indexing: fold a finished run's artifacts into the registry.
 
@@ -345,6 +365,8 @@ def record_run(
         summary=summary,
         trace_path=trace_path,
         result_path=result_path,
+        workers=workers,
+        pool=pool,
     )
     RunRegistry(registry_dir).append(record)
     return record

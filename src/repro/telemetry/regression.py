@@ -106,6 +106,32 @@ def default_thresholds() -> List[Threshold]:
     ]
 
 
+#: Default home of pinned per-bench threshold files: one
+#: ``<experiment>.json`` per gated bench (EXPERIMENTS.md format, i.e.
+#: :func:`save_thresholds` output), checked in next to the benchmarks
+#: they protect and resolved relative to the repo root.
+PINNED_THRESHOLDS_DIR = Path("benchmarks") / "thresholds"
+
+
+def pinned_thresholds(experiment: Optional[str],
+                      directory: Optional[PathLike] = None,
+                      ) -> List[Threshold]:
+    """Per-bench pinned thresholds, falling back to the stock defaults.
+
+    Looks for ``<directory>/<experiment>.json`` (directory defaults to
+    :data:`PINNED_THRESHOLDS_DIR`); a missing file — or no experiment
+    name at all — yields :func:`default_thresholds`, so the gate tightens
+    per bench as runtimes stabilize without ever loosening below stock.
+    """
+    directory = Path(directory) if directory is not None \
+        else PINNED_THRESHOLDS_DIR
+    if experiment:
+        path = directory / f"{experiment}.json"
+        if path.exists():
+            return load_thresholds(path)
+    return default_thresholds()
+
+
 def _expand(threshold: Threshold, baseline: RunRecord, candidate: RunRecord
             ) -> List[str]:
     """Concrete metric paths for a (possibly wildcarded) threshold."""

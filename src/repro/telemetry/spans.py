@@ -187,6 +187,11 @@ class Tracer:
         stack = self._stack()
         return stack[-1] if stack else None
 
+    def next_span_id(self) -> int:
+        """Reserve a fresh span id (worker-shard events are re-identified
+        with parent-unique ids when folded into this tracer's stream)."""
+        return next(self._ids)
+
     # ------------------------------------------------------------------
     # attribution feeds
     # ------------------------------------------------------------------

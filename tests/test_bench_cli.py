@@ -107,6 +107,44 @@ class TestRegistryCli:
         assert "span diff" in out            # traces existed for both runs
         assert "regression verdicts" in out  # --gate renders the table
 
+class TestPoolCli:
+    EFFICIENCY = ["efficiency", "--datasets", "cora",
+                  "--filters", "ppr", "chebyshev",
+                  "--schemes", "mini_batch", "--epochs", "2"]
+
+    def test_parser_accepts_pool_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["efficiency", "--workers", "4",
+                                  "--cell-timeout", "600",
+                                  "--max-retries", "2"])
+        assert args.workers == 4
+        assert args.cell_timeout == 600.0
+        assert args.max_retries == 2
+
+    def test_pool_flags_rejected_outside_grid_sweeps(self):
+        with pytest.raises(SystemExit):
+            main(["taxonomy", "--workers", "4"])
+        with pytest.raises(SystemExit):
+            main(["efficiency", "--workers", "0"])
+        with pytest.raises(SystemExit):
+            main(["efficiency", "--root-seed", "7"])  # effectiveness-only
+
+    def test_pooled_run_recorded_with_worker_count(self, tmp_path, capsys):
+        from repro.telemetry.registry import RunRegistry
+
+        code = main(self.EFFICIENCY + ["--workers", "2",
+                                       "--registry-dir", str(tmp_path)])
+        assert code == 0
+        assert "registry:" in capsys.readouterr().out
+        record = RunRegistry(tmp_path).load()[0]
+        assert record.workers == 2
+        assert record.pool == {"workers": 2, "cell_timeout": None,
+                               "max_retries": 1}
+        # One folded shard per grid cell (2 filters x 1 dataset).
+        assert record.metrics["counters"]["pool.cells.ok"] == 2
+
+
+class TestRegistryCliErrors:
     def test_compare_registry_unknown_spec_exits_2(self, tmp_path, capsys):
         code = main(["compare", "--registry", "feedfacefeed",
                      "--registry-dir", str(tmp_path)])

@@ -1,0 +1,267 @@
+"""Process-pool grid executor (:mod:`repro.runtime.pool`) tests.
+
+Covers the three guarantees the parallel sweeps depend on: deterministic
+per-cell seeding and grid-order assembly (serial ≡ parallel), crash/
+timeout isolation with bounded retries (one bad cell never aborts its
+siblings), and telemetry shard fold-in (merged counters, histograms, and
+spans match a serial run of the same cells).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import telemetry
+from repro.runtime.pool import (
+    CRASHED,
+    ERROR,
+    OK,
+    TIMEOUT,
+    Cell,
+    PoolConfig,
+    derive_cell_seed,
+    execute_cells,
+    pool_stats,
+)
+
+
+# --- module-level cell functions: picklable under any start method ------
+
+def _square(x, seed=0):
+    return {"x": x, "seed": seed, "value": x * x}
+
+
+def _staggered_square(x, delay):
+    time.sleep(delay)
+    return x * x
+
+
+def _raise(msg):
+    raise ValueError(msg)
+
+
+def _hard_exit(code):
+    os._exit(code)  # no exception, no result message: a genuine crash
+
+
+def _sleep(seconds):
+    time.sleep(seconds)
+    return "done"
+
+
+def _fail_first(marker, value):
+    path = Path(marker)
+    if not path.exists():
+        path.write_text("seen")
+        raise RuntimeError("transient failure")
+    return value
+
+
+def _ops_cell(amount):
+    with telemetry.span("work", amount=amount):
+        telemetry.inc_counter("ops.matmul.calls", amount)
+        telemetry.inc_counter("ops.matmul.flops", 100.0 * amount)
+        telemetry.observe("epoch.loss", float(amount))
+    return amount
+
+
+@pytest.fixture(autouse=True)
+def _clean_telemetry():
+    telemetry.shutdown()
+    yield
+    telemetry.shutdown()
+
+
+def make_cells(count, fn=_square, **extra):
+    return [Cell(key=("cell", i), fn=fn, kwargs={"x": i, **extra})
+            for i in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# seed derivation
+# ---------------------------------------------------------------------------
+
+class TestDeriveCellSeed:
+    def test_pure_function_of_inputs(self):
+        assert derive_cell_seed(0, "cora", "ppr", 2) \
+            == derive_cell_seed(0, "cora", "ppr", 2)
+
+    def test_in_bitgenerator_range(self):
+        for repeat in range(50):
+            seed = derive_cell_seed(7, "cora", "ppr", repeat)
+            assert 0 <= seed < 2 ** 31 - 1
+
+    def test_distinct_coordinates_distinct_seeds(self):
+        seeds = {derive_cell_seed(0, dataset, flt, repeat)
+                 for dataset in ("cora", "citeseer", "pubmed")
+                 for flt in ("ppr", "chebyshev")
+                 for repeat in range(5)}
+        assert len(seeds) == 3 * 2 * 5
+
+    def test_root_seed_and_order_matter(self):
+        assert derive_cell_seed(0, "cora", "ppr") \
+            != derive_cell_seed(1, "cora", "ppr")
+        assert derive_cell_seed(0, "cora", "ppr") \
+            != derive_cell_seed(0, "ppr", "cora")
+
+
+# ---------------------------------------------------------------------------
+# inline mode (workers=1): the exact serial path
+# ---------------------------------------------------------------------------
+
+class TestInline:
+    def test_results_in_cell_order(self):
+        results = execute_cells(make_cells(4), PoolConfig(workers=1))
+        assert [r.key for r in results] == [("cell", i) for i in range(4)]
+        assert all(r.status == OK and r.attempts == 1 for r in results)
+        assert [r.value["value"] for r in results] == [0, 1, 4, 9]
+        assert all(r.worker_pid is None for r in results)
+
+    def test_exceptions_propagate(self):
+        cells = [Cell(key=("bad",), fn=_raise, kwargs={"msg": "inline boom"})]
+        with pytest.raises(ValueError, match="inline boom"):
+            execute_cells(cells, PoolConfig(workers=1))
+
+
+# ---------------------------------------------------------------------------
+# pooled mode: ordering, isolation, retries
+# ---------------------------------------------------------------------------
+
+class TestPooled:
+    def test_grid_order_independent_of_completion_order(self):
+        # The first cell is the slowest: it *completes* last but must
+        # still come back first.
+        delays = [0.25, 0.0, 0.0, 0.0]
+        cells = [Cell(key=("cell", i), fn=_staggered_square,
+                      kwargs={"x": i, "delay": delays[i]})
+                 for i in range(4)]
+        results = execute_cells(cells, PoolConfig(workers=4))
+        assert [r.key for r in results] == [("cell", i) for i in range(4)]
+        assert [r.value for r in results] == [0, 1, 4, 9]
+        assert all(r.status == OK for r in results)
+        assert any(r.worker_pid not in (None, os.getpid()) for r in results)
+
+    def test_raising_cell_is_isolated_and_retry_bounded(self):
+        cells = make_cells(3)
+        cells[1] = Cell(key=("cell", 1), fn=_raise, kwargs={"msg": "boom"})
+        results = execute_cells(cells, PoolConfig(workers=2, max_retries=2))
+
+        assert [r.key for r in results] == [("cell", i) for i in range(3)]
+        failed = results[1]
+        assert failed.status == ERROR
+        assert failed.attempts == 3          # 1 original + 2 retries
+        assert "ValueError: boom" in failed.error
+        assert results[0].ok and results[2].ok, \
+            "a raising cell must not abort its siblings"
+
+        stats = pool_stats(results)
+        assert stats == {"cells": 3, "ok": 2, "failed": 1,
+                         "attempts": 5, "retries": 2, "timeouts": 0}
+
+    def test_hard_crash_reported_not_raised(self):
+        cells = make_cells(2)
+        cells[0] = Cell(key=("cell", 0), fn=_hard_exit, kwargs={"code": 17})
+        results = execute_cells(cells, PoolConfig(workers=2, max_retries=1))
+        assert results[0].status == CRASHED
+        assert results[0].attempts == 2
+        assert "exitcode" in results[0].error
+        assert results[1].ok
+
+    def test_timeout_terminates_and_retries_to_bound(self):
+        cells = make_cells(2)
+        cells[0] = Cell(key=("cell", 0), fn=_sleep, kwargs={"seconds": 30.0})
+        started = time.monotonic()
+        results = execute_cells(
+            cells, PoolConfig(workers=2, cell_timeout=0.3, max_retries=1))
+        elapsed = time.monotonic() - started
+
+        assert results[0].status == TIMEOUT
+        assert results[0].attempts == 2
+        assert "0.3" in results[0].error
+        assert results[1].ok
+        assert elapsed < 10.0, "timed-out workers were not terminated"
+        assert pool_stats(results)["timeouts"] == 1
+
+    def test_transient_failure_retries_then_succeeds(self, tmp_path):
+        marker = tmp_path / "attempted"
+        cells = [Cell(key=("flaky",), fn=_fail_first,
+                      kwargs={"marker": str(marker), "value": 42})]
+        results = execute_cells(cells, PoolConfig(workers=2, max_retries=1))
+        assert results[0].status == OK
+        assert results[0].value == 42
+        assert results[0].attempts == 2
+        assert pool_stats(results)["retries"] == 1
+
+
+# ---------------------------------------------------------------------------
+# telemetry shard fold-in: pooled run reads like a serial run
+# ---------------------------------------------------------------------------
+
+def _run_ops_cells(workers):
+    telemetry.configure()
+    try:
+        cells = [Cell(key=("cell", i), fn=_ops_cell,
+                      kwargs={"amount": i + 1}) for i in range(3)]
+        with telemetry.span("experiment"):
+            results = execute_cells(cells, PoolConfig(workers=workers))
+        state = telemetry.get_metrics().to_state()
+    finally:
+        events = telemetry.shutdown()
+    return results, state, events
+
+
+class TestTelemetryFold:
+    def test_merged_counters_match_serial(self):
+        _, serial, _ = _run_ops_cells(workers=1)
+        _, pooled, _ = _run_ops_cells(workers=3)
+        for name in ("ops.matmul.calls", "ops.matmul.flops",
+                     "pool.cells.ok"):
+            assert pooled["counters"][name] == serial["counters"][name], name
+        assert serial["counters"]["ops.matmul.calls"] == 1 + 2 + 3
+
+    def test_merged_histograms_match_serial(self):
+        _, serial, _ = _run_ops_cells(workers=1)
+        _, pooled, _ = _run_ops_cells(workers=3)
+        s, p = (state["histograms"]["epoch.loss"] for state in (serial, pooled))
+        assert (p["count"], p["total"], p["min"], p["max"]) \
+            == (s["count"], s["total"], s["min"], s["max"])
+
+    def test_folded_spans_are_remapped_into_parent_trace(self):
+        _, _, serial_events = _run_ops_cells(workers=1)
+        _, _, pooled_events = _run_ops_cells(workers=3)
+
+        def spans(events):
+            return [e for e in events if e.get("type") == "span"]
+
+        assert sorted(s["name"] for s in spans(pooled_events)) \
+            == sorted(s["name"] for s in spans(serial_events))
+        ids = [s["id"] for s in spans(pooled_events)]
+        assert len(ids) == len(set(ids)), "folded span ids must not collide"
+
+        folded = [s for s in spans(pooled_events)
+                  if s.get("attrs", {}).get("shard")]
+        assert len(folded) == 6  # per worker shard: one cell + one work span
+        experiment = next(s for s in spans(pooled_events)
+                          if s["name"] == "experiment")
+        cell_spans = [s for s in spans(pooled_events) if s["name"] == "cell"]
+        assert all(s["parent"] == experiment["id"] for s in cell_spans)
+
+    def test_failed_attempt_telemetry_is_discarded(self, tmp_path):
+        telemetry.configure()
+        try:
+            marker = tmp_path / "attempted"
+            cells = [Cell(key=("flaky",), fn=_fail_first,
+                          kwargs={"marker": str(marker), "value": 1})]
+            execute_cells(cells, PoolConfig(workers=2, max_retries=1))
+            counters = telemetry.get_metrics().to_state()["counters"]
+        finally:
+            telemetry.shutdown()
+        # Only the successful second attempt contributes a shard, so the
+        # merged totals stay equal to what a clean serial run would count.
+        assert counters.get("pool.cells.ok") == 1
+        assert counters.get("pool.cells.retried") == 1
+        assert "pool.cells.failed" not in counters

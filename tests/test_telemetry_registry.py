@@ -226,6 +226,59 @@ class TestRegistry:
 
 
 # ---------------------------------------------------------------------------
+# schema v2: workers/pool annotations + pre-v2 backward compatibility
+# ---------------------------------------------------------------------------
+
+class TestSchemaV2:
+    def test_workers_and_pool_round_trip(self, tmp_path):
+        record = record_run(make_manifest(), registry_dir=tmp_path,
+                            workers=4,
+                            pool={"workers": 4, "cell_timeout": 600.0,
+                                  "max_retries": 1, "retries": 0})
+        loaded = RunRegistry(tmp_path).load()[0]
+        assert loaded.run_id == record.run_id
+        assert loaded.schema == "repro.telemetry.registry/v2"
+        assert loaded.workers == 4
+        assert loaded.pool["cell_timeout"] == 600.0
+
+    def test_workers_outside_config_fingerprint(self, tmp_path):
+        """Execution strategy must not fork a run's registry lineage."""
+        registry = RunRegistry(tmp_path)
+        serial = registry.append(build_record(make_manifest(), timestamp=1.0,
+                                              workers=1))
+        pooled = registry.append(build_record(make_manifest(), timestamp=2.0,
+                                              workers=8, pool={"workers": 8}))
+        assert serial.config_fingerprint == pooled.config_fingerprint
+        baseline, candidate = registry.resolve_pair(
+            serial.config_fingerprint)
+        assert (baseline.workers, candidate.workers) == (1, 8)
+
+    def test_v1_line_loads_with_serial_defaults(self, tmp_path):
+        """A registry written before PR 4 still loads (and gates)."""
+        registry = RunRegistry(tmp_path)
+        registry.append(make_record(2.0))
+        v1 = make_record(1.0).to_dict()
+        v1["schema"] = "repro.telemetry.registry/v1"
+        del v1["workers"]
+        del v1["pool"]
+        with (tmp_path / REGISTRY_FILENAME).open("a") as handle:
+            handle.write(json.dumps(v1) + "\n")
+
+        records = registry.load()
+        assert len(records) == 2
+        assert registry.corrupt_lines == 0
+        old = next(r for r in records if r.schema.endswith("/v1"))
+        assert old.workers == 1
+        assert old.pool == {}
+        # Mixed-generation lineage still resolves and gates as one config:
+        # the v1 line is the baseline, the v2 append the candidate.
+        baseline, candidate = registry.resolve_pair(old.config_fingerprint)
+        assert baseline.schema.endswith("/v1")
+        assert candidate.schema.endswith("/v2")
+        assert passed(evaluate_pair(baseline, candidate, default_thresholds()))
+
+
+# ---------------------------------------------------------------------------
 # regression gate
 # ---------------------------------------------------------------------------
 
