@@ -45,10 +45,14 @@ GRID_CELLS = 4  # 2 datasets x 2 filters x 1 scheme
 
 
 def _one_cli_run(workers: int, epochs: int) -> int:
+    # --no-plan: the basis planner shares chains across cells in serial
+    # mode but per-cell in workers, so ops.spmm.calls parity between
+    # worker counts only holds (and is only meaningful) unplanned. The
+    # planner's own serial-vs-planned gate is bench_plan_smoke.py.
     return bench_main([
         "efficiency", "--datasets", "cora", "citeseer",
         "--filters", "ppr", "chebyshev", "--schemes", "mini_batch",
-        "--epochs", str(epochs), "--workers", str(workers),
+        "--epochs", str(epochs), "--workers", str(workers), "--no-plan",
         "--registry-dir", str(PARALLEL_DIR),
         "--output", str(PARALLEL_DIR / f"w{workers}.json"),
         "--trace", str(PARALLEL_DIR / f"w{workers}.jsonl"),

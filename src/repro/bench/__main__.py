@@ -24,16 +24,23 @@ is also indexed in the append-only run registry
 The first forms resolve the two most recent runs of a configuration from
 the registry — no file paths — and diff their stage timings, counters,
 and summaries; ``--gate`` additionally evaluates regression thresholds
-(:mod:`repro.telemetry.regression`) and exits non-zero on a failure.
+(:mod:`repro.telemetry.regression`) and exits non-zero on a failure;
+``--history N`` switches to a trend report (min/max/last + sparkline per
+stage/summary metric over the fingerprint's last N runs).
 
 Caching: the sparse-compute cache layer (:mod:`repro.runtime.cache`) is on
 by default — spmm-backward transposes, per-graph normalized operators, and
 dense eigenpairs are memoized, with traffic on the ``cache.spmm_t.*`` /
 ``cache.norm_adj.*`` / ``cache.eig.*`` counters. ``--no-cache`` bypasses
 every cache (the baseline mode used to measure the cache's own FLOP/byte
-delta with ``ops.spmm.*`` / ``ops.eig.*``).
+delta with ``ops.spmm.*`` / ``ops.eig.*``). The basis planner
+(:mod:`repro.runtime.plan`) additionally dedups polynomial basis chains
+*across* the filters of a sweep (``plan.terms.*`` / ``plan.spmm_avoided``
+counters) without changing a single result bit; ``--no-plan`` bypasses
+just the planner, and ``--no-cache`` implies it.
 
-Parallelism: the grid sweeps (``efficiency``, ``effectiveness``, ``hops``)
+Parallelism: the grid sweeps (``efficiency``, ``effectiveness``, ``hops``,
+``scale-shift``)
 accept ``--workers N`` to fan their dataset×filter cells out to a process
 pool (:mod:`repro.runtime.pool`) with per-cell ``--cell-timeout`` and
 ``--max-retries`` crash isolation. Results are bit-identical to a serial
@@ -53,6 +60,8 @@ from typing import Dict
 
 from .. import telemetry
 from ..runtime import cache as runtime_cache
+from ..runtime import plan as runtime_plan
+from ..runtime import pool as runtime_pool
 from ..runtime.pool import PoolConfig
 from ..training.loop import TrainConfig
 from . import experiments
@@ -76,7 +85,7 @@ EXPERIMENTS: Dict[str, tuple] = {
 }
 
 #: Experiments whose grids run through the process-pool executor.
-POOLED_EXPERIMENTS = ("efficiency", "effectiveness", "hops")
+POOLED_EXPERIMENTS = ("efficiency", "effectiveness", "hops", "scale-shift")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -126,7 +135,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="disable span/metric collection entirely")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the sparse-compute cache layer "
-                             "(spmm transpose + normalization + eig memos)")
+                             "(spmm transpose + normalization + eig memos); "
+                             "implies --no-plan")
+    parser.add_argument("--no-plan", action="store_true",
+                        help="bypass the basis-term propagation planner "
+                             "(every filter streams its own recurrence; "
+                             "the baseline mode for measuring "
+                             "plan.spmm_avoided)")
     parser.add_argument("--registry-dir", type=str, default=None,
                         metavar="DIR",
                         help="run-registry directory (default: "
@@ -154,6 +169,10 @@ def build_compare_parser() -> argparse.ArgumentParser:
                         help="run-registry directory (default: "
                              "$REPRO_REGISTRY_DIR or "
                              "benchmarks/results/registry)")
+    parser.add_argument("--history", type=int, default=None, metavar="N",
+                        help="registry mode: instead of diffing two runs, "
+                             "render one sparkline per stage/headline "
+                             "metric over the last N runs of the config")
     parser.add_argument("--tolerance", type=float, default=0.05,
                         help="relative regression tolerance for file mode")
     parser.add_argument("--gate", action="store_true",
@@ -173,9 +192,13 @@ def compare_main(argv) -> int:
     parser = build_compare_parser()
     args = parser.parse_args(argv)
 
+    if args.history is not None and args.registry is None:
+        parser.error("--history requires --registry SPEC")
     if args.registry is not None:
         if args.paths:
             parser.error("--registry takes no file paths")
+        if args.history is not None:
+            return _registry_history(args)
         return _compare_registry(args)
     if len(args.paths) != 2:
         parser.error("file mode needs exactly BASELINE and CANDIDATE paths "
@@ -203,6 +226,29 @@ def _compare_files(args) -> int:
         print(f"{len(regressions)} regression(s) beyond "
               f"{args.tolerance:.0%} tolerance")
         return 1 if args.gate else 0
+    return 0
+
+
+def _registry_history(args) -> int:
+    from ..errors import ReproError
+    from .compare import registry_history
+
+    try:
+        latest, rows = registry_history(args.registry, count=args.history,
+                                        registry_dir=args.registry_dir)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not rows:
+        print(f"config {latest.config_fingerprint}: no numeric stage or "
+              "summary metrics recorded yet")
+        return 0
+    print(f"config {latest.config_fingerprint}  experiment "
+          f"{latest.experiment}  latest run {latest.run_id} "
+          f"(git {latest.git_sha or '?'})")
+    print(render_table(
+        rows, title=f"registry history: {args.registry} "
+                    f"(last {args.history} runs, oldest -> newest)"))
     return 0
 
 
@@ -315,12 +361,15 @@ def main(argv=None) -> int:
     if telemetry_on:
         telemetry.configure(trace_path=args.trace)
     cache_was_enabled = runtime_cache.is_enabled()
+    plan_was_enabled = runtime_plan.is_enabled()
     if args.no_cache:
         from ..spectral.decomposition import clear_eig_cache
 
         runtime_cache.set_enabled(False)
         runtime_cache.clear_transpose_cache()
         clear_eig_cache()
+    if args.no_plan or args.no_cache:
+        runtime_plan.set_enabled(False)
     try:
         with telemetry.span("experiment", experiment=args.experiment,
                             artifact=artifact):
@@ -329,6 +378,8 @@ def main(argv=None) -> int:
         events = telemetry.shutdown() if telemetry_on else []
         if args.no_cache:
             runtime_cache.set_enabled(cache_was_enabled)
+        if args.no_plan or args.no_cache:
+            runtime_plan.set_enabled(plan_was_enabled)
 
     printable = [{k: v for k, v in row.items() if k != "embedding"}
                  for row in rows]
@@ -341,7 +392,8 @@ def main(argv=None) -> int:
             seed=(args.seeds[0] if args.seeds else None),
             extra={"experiment": args.experiment, "artifact": artifact,
                    "cache": not args.no_cache, "argv": argv,
-                   "workers": args.workers})
+                   "workers": args.workers,
+                   "plan": not (args.no_plan or args.no_cache)})
     if args.output:
         from .io import save_rows
 
@@ -363,6 +415,9 @@ def main(argv=None) -> int:
             pool_info = {"workers": args.workers,
                          "cell_timeout": args.cell_timeout,
                          "max_retries": args.max_retries}
+            sweep_stats = runtime_pool.last_run_stats()
+            if sweep_stats is not None:
+                pool_info["stats"] = sweep_stats
         record = telemetry.record_run(
             run_manifest, events=events, summary=summarize_rows(printable),
             trace_path=args.trace, result_path=args.output,

@@ -217,6 +217,52 @@ def compare_registry(spec: str, registry_dir=None,
         baseline, candidate, stage_fields=stage_fields)
 
 
+def registry_history(spec: str, count: int = 10, registry_dir=None):
+    """Cross-run trend report: one sparkline row per headline metric.
+
+    Resolves ``spec`` (fingerprint prefix or experiment name) to one
+    config's run history, then renders each stage's inclusive seconds and
+    each numeric summary column of the most recent run over that config's
+    last ``count`` runs via :meth:`RunRegistry.history`. Returns
+    ``(latest_record, rows)`` where each row is ``{"metric", "runs",
+    "min", "max", "last", "trend"}`` — the trend a unicode sparkline —
+    ready for :func:`repro.bench.render_table`.
+    """
+    from ..telemetry.registry import RunRegistry
+    from ..telemetry.report import sparkline
+
+    if count < 1:
+        raise ReproError(f"history length must be >= 1, got {count}")
+    registry = RunRegistry(registry_dir)
+    records = registry.resolve(spec)
+    if not records:
+        known = ", ".join(sorted(registry.fingerprints())) or "(empty)"
+        raise ReproError(f"registry at {registry.path} holds no runs "
+                         f"matching {spec!r}. Known configs: {known}")
+    latest = records[-1]
+    fingerprint = latest.config_fingerprint
+
+    metrics = [f"stages.{stage}.seconds" for stage in sorted(latest.stages)]
+    metrics += [f"summary.{name}" for name in sorted(latest.summary or {})
+                if _is_number((latest.summary or {}).get(name))]
+
+    rows: List[Dict] = []
+    for metric in metrics:
+        series = registry.history(metric, fingerprint)[-count:]
+        if not series:
+            continue
+        values = [value for _, value in series]
+        rows.append({
+            "metric": metric,
+            "runs": len(values),
+            "min": min(values),
+            "max": max(values),
+            "last": values[-1],
+            "trend": sparkline(values),
+        })
+    return latest, rows
+
+
 def _is_number(value) -> bool:
     return isinstance(value, (int, float, np.integer, np.floating)) \
         and not isinstance(value, bool) and np.isfinite(value)

@@ -10,7 +10,8 @@ keeping the S < M < L ordering while staying CPU-feasible; pass
 ``scale_override`` (or per-call scales) to run closer to paper size.
 
 Parallelism: the grid experiments (``efficiency_experiment``,
-``effectiveness_experiment``, ``hop_sweep_experiment``) decompose their
+``effectiveness_experiment``, ``hop_sweep_experiment``,
+``scale_shift_experiment``) decompose their
 dataset×filter loops into self-contained cells executed through
 :func:`repro.runtime.pool.execute_cells`. With the default
 ``pool=None``/``workers=1`` the cells run inline in grid order — the
@@ -36,6 +37,7 @@ from ..filters.base import PropagationContext
 from ..filters.registry import FILTER_NAMES, REGISTRY, make_filter
 from ..graph.graph import Graph
 from ..graph.metrics import degree_groups
+from ..runtime import plan
 from ..runtime.hardware import PROFILES
 from ..runtime.pool import (
     Cell,
@@ -190,6 +192,30 @@ def _effectiveness_cell(dataset_name: str, filter_name: str, scheme: str,
     ]
 
 
+def _scale_shift_cell(dataset_name: str, filter_name: str,
+                      seeds: Sequence[int], config: TrainConfig) -> List[Dict]:
+    """One (dataset, filter) cell of the Figure 3 scale-shift sweep.
+
+    ``relative_accuracy`` needs the per-dataset best across *all* filters,
+    so the parent computes it after reassembly — cells only report the
+    absolute score.
+    """
+    spec = get_spec(dataset_name)
+    graph = _memo_load(dataset_name, None, 0)
+    run_config = _config_for(spec, config)
+    summary = run_seeds(graph, filter_name, scheme="mini_batch",
+                        config=run_config, seeds=tuple(seeds))
+    return [
+        {
+            "dataset": dataset_name,
+            "scale_class": spec.scale_class,
+            "n": graph.num_nodes,
+            "filter": REGISTRY[filter_name].display,
+            "accuracy": summary.mean,
+        }
+    ]
+
+
 def _hop_cell(dataset_name: str, filter_name: str, num_hops: int,
               seeds: Sequence[int], config: TrainConfig) -> List[Dict]:
     """One (dataset, filter, K) cell of the Figure 7 hop sweep."""
@@ -278,7 +304,8 @@ def efficiency_experiment(
         for scheme in schemes
         for filter_name in filters
     ]
-    return _pooled_rows(cells, pool, ("dataset", "scheme", "filter"))
+    with plan.plan_scope():
+        return _pooled_rows(cells, pool, ("dataset", "scheme", "filter"))
 
 
 # ======================================================================
@@ -322,7 +349,8 @@ def effectiveness_experiment(
         for dataset_name in dataset_names
         for filter_name in filters
     ]
-    return _pooled_rows(cells, pool, ("dataset", "scheme", "filter"))
+    with plan.plan_scope():
+        return _pooled_rows(cells, pool, ("dataset", "scheme", "filter"))
 
 
 # ======================================================================
@@ -334,36 +362,38 @@ def scale_shift_experiment(
     dataset_names: Sequence[str] = ("cora", "arxiv", "products"),
     seeds: Sequence[int] = (0, 1),
     config: Optional[TrainConfig] = None,
+    pool: Optional[PoolConfig] = None,
 ) -> List[Dict]:
     """Relative accuracy (to the per-dataset best) vs node count.
 
     One homophilous dataset per scale class; the paper's observation is
     that the spread between suitable and unsuitable filters widens as n
-    grows.
+    grows. ``pool`` distributes the (dataset, filter) cells across worker
+    processes; each cell reports its absolute accuracy and the parent
+    derives ``relative_accuracy`` from the reassembled grid, so results
+    are bit-identical across worker counts.
     """
     base = config or TrainConfig(epochs=60, patience=30)
-    rows = []
-    for dataset_name in dataset_names:
-        spec = get_spec(dataset_name)
-        graph = load_dataset(dataset_name, seed=0)
-        run_config = _config_for(spec, base)
-        scores = {}
-        for filter_name in filters:
-            summary = run_seeds(graph, filter_name, scheme="mini_batch",
-                                config=run_config, seeds=seeds)
-            scores[filter_name] = summary.mean
-        best = max(scores.values())
-        for filter_name, score in scores.items():
-            rows.append(
-                {
-                    "dataset": dataset_name,
-                    "scale_class": spec.scale_class,
-                    "n": graph.num_nodes,
-                    "filter": REGISTRY[filter_name].display,
-                    "accuracy": score,
-                    "relative_accuracy": score / best if best > 0 else float("nan"),
-                }
-            )
+    cells = [
+        Cell(key=(dataset_name, filter_name),
+             fn=_scale_shift_cell,
+             kwargs=dict(dataset_name=dataset_name, filter_name=filter_name,
+                         seeds=tuple(seeds), config=base))
+        for dataset_name in dataset_names
+        for filter_name in filters
+    ]
+    with plan.plan_scope():
+        rows = _pooled_rows(cells, pool, ("dataset", "filter"))
+    best: Dict[str, float] = {}
+    for row in rows:
+        if "accuracy" in row:
+            best[row["dataset"]] = max(best.get(row["dataset"], float("-inf")),
+                                       row["accuracy"])
+    for row in rows:
+        if "accuracy" in row:
+            top = best[row["dataset"]]
+            row["relative_accuracy"] = \
+                row["accuracy"] / top if top > 0 else float("nan")
     return rows
 
 
@@ -546,7 +576,8 @@ def hop_sweep_experiment(
         for filter_name in filters
         for num_hops in hops
     ]
-    return _pooled_rows(cells, pool, ("dataset", "filter", "K"))
+    with plan.plan_scope():
+        return _pooled_rows(cells, pool, ("dataset", "filter", "K"))
 
 
 # ======================================================================

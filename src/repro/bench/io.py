@@ -136,9 +136,13 @@ _NONDETERMINISTIC_KEY_RE = re.compile(
 #: Telemetry counters that are invariant to caching and scheduling: the
 #: engine op counters (every matmul/spmm/elementwise the model executes)
 #: plus the pool's completed-cell count. Cache-traffic counters
-#: (``cache.*``, ``ops.spmm.transpose_*``, ``ops.eig.*``) are excluded —
-#: per-process memos legitimately hit/miss differently between serial and
-#: parallel execution without perturbing a single result bit.
+#: (``cache.*``, ``ops.spmm.transpose_*``, ``ops.eig.*``, ``plan.*``) are
+#: excluded — per-process memos legitimately hit/miss differently between
+#: serial and parallel execution without perturbing a single result bit.
+#: Note ``ops.spmm.calls`` is schedule-invariant only at a fixed planner
+#: sharing topology: the basis planner (:mod:`repro.runtime.plan`) shares
+#: chains *across* cells in a serial sweep but per-cell in workers, so
+#: the serial≡parallel gate runs under ``--no-plan``.
 _DETERMINISTIC_COUNTER_RE = re.compile(
     r"^(ops\.(matmul|spmm|ewise)\.(calls|flops|bytes)|pool\.cells\.ok)$")
 

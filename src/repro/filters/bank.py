@@ -26,6 +26,7 @@ import numpy as np
 from ..autodiff.tensor import Tensor, concatenate as tensor_concat, stack as tensor_stack
 from ..errors import FilterError
 from ..graph.graph import Graph
+from ..runtime import plan
 from .base import Context, ParamSpec, Signal, SpectralFilter, monomial_bases
 from .fixed import GaussianFilter, IdentityFilter, MonomialFilter, PPRFilter
 from .variable import BernsteinFilter, ChebyshevFilter, MonomialVariableFilter
@@ -59,11 +60,8 @@ class ShiftedMonomialFilter(SpectralFilter):
         return np.full(self.num_hops + 1, 1.0 / (self.num_hops + 1))
 
     def _bases(self, ctx: Context, x: Signal) -> Iterator[Signal]:
-        current = x
-        yield current
-        for _ in range(self.num_hops):
-            current = ctx.adj(current) * self.sign + current * self.beta
-            yield current
+        yield from plan.chain_bases(ctx, x, "shifted_monomial",
+                                    (self.beta, self.sign), self.num_hops + 1)
 
     def hyperparameters(self) -> Dict[str, float]:
         return {"beta": self.beta, "sign": self.sign}

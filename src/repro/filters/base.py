@@ -39,6 +39,7 @@ from ..autodiff.sparse import spmm, spmm_numpy
 from ..autodiff.tensor import Tensor
 from ..errors import FilterError
 from ..graph.graph import Graph
+from ..runtime import plan
 
 Signal = Union[np.ndarray, Tensor]
 
@@ -76,6 +77,16 @@ class PropagationContext:
         self._matrix = matrix
         self._backend = backend
         self.hops = 0
+
+    @property
+    def matrix(self) -> sp.spmatrix:
+        """The propagation operator (the planner keys chains on it)."""
+        return self._matrix
+
+    @property
+    def backend(self) -> str:
+        """The spmm backend name (part of the planner's operator key)."""
+        return self._backend
 
     def adj(self, x: Signal) -> Signal:
         """Apply ``Ã`` (one propagation hop)."""
@@ -324,11 +335,9 @@ def monomial_bases(ctx: Context, x: Signal, count: int,
                    operator: str = "adj") -> Iterator[Signal]:
     """Shared generator of operator powers: ``x, P x, P² x, …``.
 
-    ``operator`` selects ``adj`` (Ã) or ``lap`` (L̃).
+    ``operator`` selects ``adj`` (Ã) or ``lap`` (L̃). Served through the
+    basis planner when a :func:`repro.runtime.plan.plan_scope` is active,
+    so every monomial-basis filter in a sweep shares one prefix chain.
     """
-    apply = ctx.adj if operator == "adj" else ctx.lap
-    current = x
-    yield current
-    for _ in range(count - 1):
-        current = apply(current)
-        yield current
+    family = "monomial_adj" if operator == "adj" else "monomial_lap"
+    return plan.chain_bases(ctx, x, family, (), count)

@@ -16,6 +16,7 @@ from typing import Dict, Iterator
 import numpy as np
 
 from ..errors import FilterError
+from ..runtime import plan
 from .base import Context, Signal, SpectralFilter, monomial_bases
 
 
@@ -52,8 +53,7 @@ class LinearFilter(SpectralFilter):
 
     def _bases(self, ctx: Context, x: Signal) -> Iterator[Signal]:
         # 2I − L̃ = I + Ã : bases {x, Ãx} with unit weights.
-        yield x
-        yield ctx.adj(x)
+        yield from monomial_bases(ctx, x, 2, operator="adj")
 
 
 class ImpulseFilter(SpectralFilter):
@@ -192,12 +192,10 @@ class GaussianFilter(SpectralFilter):
 
     def _bases(self, ctx: Context, x: Signal) -> Iterator[Signal]:
         layers = self.num_layers
-        step = self.alpha / layers
-        current = x
-        for _ in range(layers):
-            inner = ctx.adj(current) + current * self.beta
-            squared = ctx.adj(inner) + inner * self.beta
-            current = current - squared * step
+        for current in plan.chain_bases(ctx, x, "gaussian",
+                                        (self.alpha, self.beta, layers),
+                                        layers + 1):
+            pass
         yield current
 
     def hyperparameters(self) -> Dict[str, float]:

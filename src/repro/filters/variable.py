@@ -27,6 +27,7 @@ import numpy as np
 
 from ..autodiff.tensor import Tensor, stack
 from ..errors import FilterError
+from ..runtime import plan
 from .base import Context, ParamSpec, Signal, SpectralFilter, monomial_bases
 
 
@@ -59,8 +60,7 @@ class LinearVariableFilter(SpectralFilter):
         return np.array([0.0, 1.0], dtype=np.float32)
 
     def _bases(self, ctx: Context, x: Signal) -> Iterator[Signal]:
-        yield x
-        yield ctx.adj(x)
+        yield from monomial_bases(ctx, x, 2, operator="adj")
 
 
 class MonomialVariableFilter(SpectralFilter):
@@ -108,11 +108,7 @@ class HornerFilter(SpectralFilter):
         return np.full(self.num_hops + 1, 1.0 / (self.num_hops + 1), dtype=np.float32)
 
     def _bases(self, ctx: Context, x: Signal) -> Iterator[Signal]:
-        current = x
-        yield current
-        for _ in range(self.num_hops):
-            current = ctx.adj(current) + x
-            yield current
+        yield from plan.chain_bases(ctx, x, "horner", (), self.num_hops + 1)
 
 
 class ChebyshevFilter(SpectralFilter):
@@ -133,21 +129,8 @@ class ChebyshevFilter(SpectralFilter):
             theta[1] = -1.0  # T0 − T1 = 2 − λ: linear low-pass start
         return theta
 
-    def _shifted(self, ctx: Context, x: Signal) -> Signal:
-        """Apply ``L̂ = L̃ − I = −Ã``."""
-        return -ctx.adj(x)
-
     def _bases(self, ctx: Context, x: Signal) -> Iterator[Signal]:
-        prev_prev = x
-        yield prev_prev
-        if self.num_hops == 0:
-            return
-        prev = self._shifted(ctx, x)
-        yield prev
-        for _ in range(self.num_hops - 1):
-            current = self._shifted(ctx, prev) * 2.0 - prev_prev
-            yield current
-            prev_prev, prev = prev, current
+        yield from plan.chain_bases(ctx, x, "chebyshev", (), self.num_hops + 1)
 
 
 def chebyshev_nodes(order: int) -> np.ndarray:
@@ -204,16 +187,7 @@ class ClenshawFilter(SpectralFilter):
         return theta
 
     def _bases(self, ctx: Context, x: Signal) -> Iterator[Signal]:
-        prev_prev = x
-        yield prev_prev
-        if self.num_hops == 0:
-            return
-        prev = -ctx.adj(x) * 2.0
-        yield prev
-        for _ in range(self.num_hops - 1):
-            current = -ctx.adj(prev) * 2.0 - prev_prev
-            yield current
-            prev_prev, prev = prev, current
+        yield from plan.chain_bases(ctx, x, "clenshaw", (), self.num_hops + 1)
 
 
 class BernsteinFilter(SpectralFilter):
@@ -238,10 +212,10 @@ class BernsteinFilter(SpectralFilter):
     def _bases(self, ctx: Context, x: Signal) -> Iterator[Signal]:
         from math import comb
 
-        # Stage 1: Laplacian powers l_k = L̃^k x (K extra live arrays).
-        powers: List[Signal] = [x]
-        for _ in range(self.num_hops):
-            powers.append(ctx.lap(powers[-1]))
+        # Stage 1: Laplacian powers l_k = L̃^k x (K extra live arrays) —
+        # the same chain FBGNN/ACMGNN/AdaGNN precompute, so shared.
+        powers: List[Signal] = list(
+            monomial_bases(ctx, x, self.num_hops + 1, operator="lap"))
         # Stage 2: (K−k) applications of (2I − L̃) = I + Ã per term.
         scale = 0.5 ** self.num_hops
         for k in range(self.num_hops + 1):
@@ -270,16 +244,7 @@ class LegendreFilter(SpectralFilter):
         return theta
 
     def _bases(self, ctx: Context, x: Signal) -> Iterator[Signal]:
-        prev_prev = x
-        yield prev_prev
-        if self.num_hops == 0:
-            return
-        prev = -ctx.adj(x)
-        yield prev
-        for k in range(2, self.num_hops + 1):
-            current = (-ctx.adj(prev)) * ((2.0 * k - 1.0) / k) - prev_prev * ((k - 1.0) / k)
-            yield current
-            prev_prev, prev = prev, current
+        yield from plan.chain_bases(ctx, x, "legendre", (), self.num_hops + 1)
 
 
 class JacobiFilter(SpectralFilter):
@@ -307,21 +272,8 @@ class JacobiFilter(SpectralFilter):
         return theta
 
     def _bases(self, ctx: Context, x: Signal) -> Iterator[Signal]:
-        a, b = self.a, self.b
-        prev_prev = x
-        yield prev_prev
-        if self.num_hops == 0:
-            return
-        prev = x * ((a - b) / 2.0) + ctx.adj(x) * ((a + b + 2.0) / 2.0)
-        yield prev
-        for k in range(2, self.num_hops + 1):
-            denom = 2.0 * k * (k + a + b) * (2.0 * k + a + b - 2.0)
-            c1 = (2.0 * k + a + b - 1.0) * (2.0 * k + a + b) * (2.0 * k + a + b - 2.0) / denom
-            c2 = (2.0 * k + a + b - 1.0) * (a * a - b * b) / denom
-            c3 = 2.0 * (k + a - 1.0) * (k + b - 1.0) * (2.0 * k + a + b) / denom
-            current = ctx.adj(prev) * c1 + prev * c2 - prev_prev * c3
-            yield current
-            prev_prev, prev = prev, current
+        yield from plan.chain_bases(ctx, x, "jacobi", (self.a, self.b),
+                                    self.num_hops + 1)
 
     def hyperparameters(self) -> Dict[str, float]:
         return {"a": self.a, "b": self.b}

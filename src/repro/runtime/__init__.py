@@ -1,6 +1,7 @@
 """Execution-environment simulation: device memory, profiling, hardware,
-the instrumented sparse-compute cache layer, and the process-pool grid
-executor for parallel benchmark sweeps."""
+the instrumented sparse-compute cache layer, the basis-term propagation
+planner, and the process-pool grid executor for parallel benchmark
+sweeps."""
 
 from .cache import (
     MISSING,
@@ -19,12 +20,23 @@ from .cache import (
 )
 from .device import GIBIBYTE, DeviceModel, nbytes_of
 from .hardware import PROFILES, S1, S2, HardwareProfile
+from .plan import (
+    PLAN_CHAIN_ENTRIES,
+    BasisPlanner,
+    active_planner,
+    chain_bases,
+    is_enabled as plan_enabled,
+    plan_scope,
+    plans_disabled,
+    set_enabled as set_plan_enabled,
+)
 from .pool import (
     Cell,
     CellResult,
     PoolConfig,
     derive_cell_seed,
     execute_cells,
+    last_run_stats,
     pool_stats,
 )
 from .profiler import StageProfiler, StageStats
@@ -53,11 +65,21 @@ __all__ = [
     "transpose_build_count",
     "transpose_cache_stats",
     "transpose_csr",
+    # basis-term planner
+    "BasisPlanner",
+    "PLAN_CHAIN_ENTRIES",
+    "active_planner",
+    "chain_bases",
+    "plan_enabled",
+    "plan_scope",
+    "plans_disabled",
+    "set_plan_enabled",
     # parallel sweep executor
     "Cell",
     "CellResult",
     "PoolConfig",
     "derive_cell_seed",
     "execute_cells",
+    "last_run_stats",
     "pool_stats",
 ]

@@ -100,13 +100,20 @@ class LRUCache:
         When set, every hit / miss / eviction also increments the
         telemetry counters ``<prefix>.hit`` / ``.miss`` / ``.evict`` on
         the active registry (no-op while telemetry is disabled).
+    on_evict:
+        Optional ``(key, value)`` callback fired for each capacity
+        eviction (not for ``discard``/``clear``), letting owners account
+        for what the dropped entry carried — e.g. the basis planner
+        counts evicted chain terms.
     """
 
-    def __init__(self, capacity: int, counter_prefix: Optional[str] = None):
+    def __init__(self, capacity: int, counter_prefix: Optional[str] = None,
+                 on_evict: Optional[Callable[[Any, Any], None]] = None):
         if capacity < 1:
             raise ValueError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = int(capacity)
         self.counter_prefix = counter_prefix
+        self.on_evict = on_evict
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -154,9 +161,11 @@ class LRUCache:
             self._entries[key] = value
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
-                self._entries.popitem(last=False)
+                evicted_key, evicted_value = self._entries.popitem(last=False)
                 self.evictions += 1
                 self._count("evict")
+                if self.on_evict is not None:
+                    self.on_evict(evicted_key, evicted_value)
 
     def discard(self, key: Any) -> None:
         """Drop an entry if present (not counted as an eviction)."""

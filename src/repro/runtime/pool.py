@@ -160,6 +160,31 @@ def pool_stats(results: Sequence[CellResult]) -> Dict[str, int]:
     return stats
 
 
+#: Stats of the most recent :func:`execute_cells` sweep in this process,
+#: for callers (the bench CLI) that persist them after results are
+#: consumed. ``per_cell`` holds one dict per cell in grid order.
+_last_run_stats: Optional[Dict[str, Any]] = None
+
+
+def last_run_stats() -> Optional[Dict[str, Any]]:
+    """Full accounting of the most recent sweep: :func:`pool_stats`
+    totals plus per-cell status/attempt/seconds detail (registry
+    ``pool.stats``), or ``None`` before any sweep has run."""
+    return _last_run_stats
+
+
+def _record_run_stats(results: Sequence[CellResult]) -> None:
+    global _last_run_stats
+    stats: Dict[str, Any] = dict(pool_stats(results))
+    stats["per_cell"] = [
+        {"cell": result.label, "status": result.status,
+         "attempts": result.attempts,
+         "seconds": round(result.seconds, 6)}
+        for result in results
+    ]
+    _last_run_stats = stats
+
+
 # ======================================================================
 # worker side
 # ======================================================================
@@ -174,21 +199,27 @@ def _cell_entry(conn, cell: Cell, telemetry_on: bool) -> None:
     """
     import os
 
+    from . import plan
+
     payload: Dict[str, Any] = {"pid": os.getpid()}
     try:
+        # A fresh planner scope per attempt: chains never leak in via
+        # fork, so a cell computes the same value under any start method.
         if telemetry_on:
             from .. import telemetry
 
             telemetry.shutdown()  # discard fork-inherited tracer state
             tracer = telemetry.configure()
-            with telemetry.span("cell", cell=cell.label):
+            with telemetry.span("cell", cell=cell.label), \
+                    plan.plan_scope(fresh=True):
                 value = cell.fn(**cell.kwargs)
             metrics_state = tracer.metrics.to_state()
             events = telemetry.shutdown()
             payload.update(ok=True, value=value, events=events,
                            metrics=metrics_state)
         else:
-            payload.update(ok=True, value=cell.fn(**cell.kwargs))
+            with plan.plan_scope(fresh=True):
+                payload.update(ok=True, value=cell.fn(**cell.kwargs))
     except BaseException as exc:  # noqa: BLE001 - crash isolation boundary
         payload = {"pid": payload.get("pid"), "ok": False,
                    "error": f"{type(exc).__name__}: {exc}"}
@@ -230,8 +261,11 @@ def execute_cells(cells: Sequence[Cell],
     config = config or PoolConfig()
     cells = list(cells)
     if config.workers <= 1:
-        return [_run_inline(cell) for cell in cells]
-    return _run_pooled(cells, config)
+        results = [_run_inline(cell) for cell in cells]
+    else:
+        results = _run_pooled(cells, config)
+    _record_run_stats(results)
+    return results
 
 
 def _run_inline(cell: Cell) -> CellResult:

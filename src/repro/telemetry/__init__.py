@@ -8,8 +8,11 @@ It provides three connected layers:
   forward/backward``) whose wall time, allocated bytes, and RAM growth
   land on an event sink.
 - **Metrics** (:mod:`.metrics`): counters/gauges/streaming histograms fed
-  by op hooks in :mod:`repro.autodiff` (matmul/spmm FLOPs and bytes) and
-  per-epoch hooks in :mod:`repro.training` (loss, score, grad norm).
+  by op hooks in :mod:`repro.autodiff` (matmul/spmm FLOPs and bytes),
+  per-epoch hooks in :mod:`repro.training` (loss, score, grad norm), and
+  the :mod:`repro.runtime` cache/planner layers (``cache.*`` memo
+  traffic; ``plan.terms.{hit,miss,evict}`` / ``plan.chains.*`` /
+  ``plan.spmm_avoided`` basis-term store traffic).
 - **Artifacts** (:mod:`.sinks`, :mod:`.manifest`, :mod:`.report`): a JSONL
   trace file, a deterministic run manifest written next to every result
   file, and a terminal report (top spans with inclusive *and* exclusive

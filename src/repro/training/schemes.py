@@ -36,6 +36,7 @@ from ..graph.graph import Graph
 from ..graph.partition import bfs_partition
 from ..models.decoupled import DecoupledModel, MiniBatchModel
 from ..nn.module import Module
+from ..runtime import plan
 from ..runtime.device import DeviceModel, nbytes_of
 from .loop import (
     EarlyStopper,
@@ -155,10 +156,15 @@ class MiniBatchTrainer:
             # Stage 1: CPU precompute — graph ops happen exactly once. The
             # propagation matrix is built here and reused for the RAM
             # accounting below instead of re-deriving it just to size it.
+            # The basis planner joins an enclosing sweep scope when one is
+            # active (cross-filter term sharing); otherwise the scope is
+            # ephemeral and chains die with this fit.
             with profiler.stage("precompute", op_class="propagation"):
                 propagation = graph.normalized_adjacency(config.rho)
-                channels = filter_.precompute(
-                    graph, graph.features, rho=config.rho, backend=config.backend)
+                with plan.plan_scope():
+                    channels = filter_.precompute(
+                        graph, graph.features, rho=config.rho,
+                        backend=config.backend)
             profiler.record_ram(
                 "precompute",
                 channels.nbytes + nbytes_of(propagation),

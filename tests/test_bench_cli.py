@@ -88,6 +88,24 @@ class TestRegistryCli:
         assert "registry:" not in capsys.readouterr().out
         assert RunRegistry(tmp_path).load() == []
 
+    def test_compare_history_sparkline_report(self, tmp_path, capsys):
+        """Two runs, then `--history` renders a trend row per metric."""
+        assert self._run(tmp_path, 1) == 0
+        assert self._run(tmp_path, 2) == 0
+        capsys.readouterr()
+
+        code = main(["compare", "--registry", "efficiency",
+                     "--registry-dir", str(tmp_path), "--history", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "registry history: efficiency (last 5 runs" in out
+        assert "stages.train.seconds" in out
+        assert "trend" in out
+
+    def test_history_requires_registry(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "a.json", "b.json", "--history", "3"])
+
     def test_compare_registry_end_to_end(self, tmp_path, capsys):
         """Two runs, then resolve + diff by fingerprint with no file paths."""
         from repro.telemetry.registry import RunRegistry
@@ -129,6 +147,12 @@ class TestPoolCli:
         with pytest.raises(SystemExit):
             main(["efficiency", "--root-seed", "7"])  # effectiveness-only
 
+    def test_scale_shift_accepts_workers(self):
+        parser = build_parser()
+        args = parser.parse_args(["scale-shift", "--workers", "2"])
+        assert args.experiment == "scale-shift"
+        assert args.workers == 2
+
     def test_pooled_run_recorded_with_worker_count(self, tmp_path, capsys):
         from repro.telemetry.registry import RunRegistry
 
@@ -138,8 +162,19 @@ class TestPoolCli:
         assert "registry:" in capsys.readouterr().out
         record = RunRegistry(tmp_path).load()[0]
         assert record.workers == 2
-        assert record.pool == {"workers": 2, "cell_timeout": None,
-                               "max_retries": 1}
+        assert record.pool["workers"] == 2
+        assert record.pool["cell_timeout"] is None
+        assert record.pool["max_retries"] == 1
+        # The full pool_stats block lands in the record, with one
+        # per-cell entry per grid cell in grid order.
+        stats = record.pool["stats"]
+        assert stats["cells"] == 2 and stats["ok"] == 2
+        assert stats["failed"] == 0 and stats["retries"] == 0
+        assert [cell["cell"] for cell in stats["per_cell"]] == [
+            "cora/mini_batch/ppr", "cora/mini_batch/chebyshev"]
+        assert all(cell["status"] == "ok" and cell["attempts"] == 1
+                   and cell["seconds"] >= 0.0
+                   for cell in stats["per_cell"])
         # One folded shard per grid cell (2 filters x 1 dataset).
         assert record.metrics["counters"]["pool.cells.ok"] == 2
 
