@@ -1,0 +1,145 @@
+"""Live sweep observatory gate: heartbeats, Chrome trace, payload purity.
+
+Runs one small efficiency sweep (1 dataset × 2 filters × 1 scheme = 2
+grid cells) twice through the real CLI — once with live monitoring on
+(``--live`` + 2 workers) and once with it off — and holds the live
+telemetry channel (:mod:`repro.telemetry.live`) to its contract:
+
+- **liveness**: every grid cell announces ``cell_start`` on the live
+  stream and produces at least one ``heartbeat`` (the per-epoch trainer
+  tick), so a monitored sweep can never be silently opaque.
+- **exportability**: the post-run Chrome trace (``*.trace.json``) is
+  valid JSON in Trace Event Format with one named track per worker pid,
+  cell slices (``ph: "X"``) on those tracks, and an RSS counter track
+  (``ph: "C"``) — loadable as-is in https://ui.perfetto.dev.
+- **payload purity**: live monitoring is observability only. The
+  canonical result payload of the monitored run is *byte-identical* to
+  the unmonitored run's, so the serial≡parallel determinism gates of
+  ``bench-parallel``/``bench-plan`` are untouched by live events.
+- **registry annotation**: the monitored run's registry record points at
+  both live artifacts (``live_path``/``chrome_trace_path``).
+
+Artifacts land under ``benchmarks/results/watch_smoke/`` for the
+``bench-watch`` CI job to upload.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+
+from repro.bench.__main__ import main as bench_main
+from repro.bench.io import canonical_payload, load_rows
+from repro.telemetry.registry import RunRegistry
+from repro.telemetry.sinks import load_events
+
+from .conftest import RESULTS_DIR, emit, env_epochs, run_once
+
+EPOCHS_DEFAULT = 3
+WATCH_DIR = RESULTS_DIR / "watch_smoke"
+GRID_CELLS = 2  # 1 dataset x 2 filters x 1 scheme
+WORKERS = 2
+
+
+def _one_cli_run(mode: str, epochs: int) -> int:
+    # --no-plan for the same reason as bench_parallel_smoke: keep the two
+    # runs' execution paths identical apart from the live channel.
+    argv = [
+        "efficiency", "--datasets", "cora",
+        "--filters", "ppr", "chebyshev", "--schemes", "mini_batch",
+        "--epochs", str(epochs), "--workers", str(WORKERS), "--no-plan",
+        "--registry-dir", str(WATCH_DIR),
+        "--output", str(WATCH_DIR / f"{mode}.json"),
+        "--trace", str(WATCH_DIR / f"{mode}_trace.jsonl"),
+    ]
+    if mode == "live":
+        argv += ["--live", str(WATCH_DIR / "live.jsonl")]
+    return bench_main(argv)
+
+
+def _watch_smoke(epochs: int) -> dict:
+    if WATCH_DIR.exists():
+        shutil.rmtree(WATCH_DIR)
+    WATCH_DIR.mkdir(parents=True)
+
+    exit_codes = {mode: _one_cli_run(mode, epochs)
+                  for mode in ("live", "plain")}
+
+    payloads = {}
+    for mode in ("live", "plain"):
+        payload = canonical_payload(load_rows(WATCH_DIR / f"{mode}.json"))
+        payloads[mode] = payload
+        (WATCH_DIR / f"payload_{mode}.json").write_bytes(payload)
+
+    live_events = load_events(WATCH_DIR / "live.jsonl")
+    trace = json.loads((WATCH_DIR / "live.trace.json").read_text())
+
+    registry = RunRegistry(WATCH_DIR)
+    records = {("live" if record.live_path else "plain"): record
+               for record in registry.load()}
+
+    return {
+        "exit_codes": exit_codes,
+        "payloads": payloads,
+        "live_events": live_events,
+        "trace": trace,
+        "records": records,
+    }
+
+
+def test_watch_smoke_gate(benchmark):
+    epochs = env_epochs(EPOCHS_DEFAULT)
+    report = run_once(benchmark, _watch_smoke, epochs)
+    live_events = report["live_events"]
+
+    started = {e["cell"] for e in live_events if e["type"] == "cell_start"}
+    beating = {e["cell"] for e in live_events if e["type"] == "heartbeat"}
+    by_type: dict = {}
+    for event in live_events:
+        by_type[event["type"]] = by_type.get(event["type"], 0) + 1
+    emit([{"event": name, "count": count}
+          for name, count in sorted(by_type.items())],
+         title="live.jsonl event stream")
+
+    assert report["exit_codes"] == {"live": 0, "plain": 0}
+
+    # --- liveness: every cell started and proved progress.
+    assert len(started) == GRID_CELLS, \
+        f"expected cell_start for all {GRID_CELLS} cells, got {started}"
+    assert beating >= started, \
+        f"cells without a single heartbeat: {started - beating}"
+    assert any(e["type"] == "rss" for e in live_events), \
+        "no RSS samples on the live stream"
+    assert any(e["type"] == "sweep_finish" for e in live_events)
+
+    # --- exportability: Trace Event JSON, per-worker tracks, RSS counter.
+    trace_events = report["trace"]["traceEvents"]
+    worker_pids = {e["pid"] for e in live_events
+                   if e.get("pid") is not None and e["type"] == "cell_start"}
+    named_tracks = {e["tid"] for e in trace_events
+                    if e.get("ph") == "M" and e["name"] == "thread_name"
+                    and e["args"]["name"].startswith("worker ")}
+    cell_track_tids = {e["tid"] for e in trace_events
+                       if e.get("ph") == "X" and e.get("cat") == "cell"}
+    assert worker_pids and named_tracks == worker_pids, \
+        f"named worker tracks {named_tracks} != worker pids {worker_pids}"
+    assert cell_track_tids <= worker_pids | {0}
+    assert len(cell_track_tids & worker_pids) == len(worker_pids), \
+        "some worker track carries no cell slice"
+    assert any(e.get("ph") == "C" and e["name"] == "rss"
+               for e in trace_events), "no RSS counter track"
+
+    # --- payload purity: live monitoring cannot move a result bit.
+    assert report["payloads"]["plain"], "unmonitored run payload is empty"
+    assert report["payloads"]["live"] == report["payloads"]["plain"], (
+        "live monitoring perturbed the canonical payload; diff "
+        f"{WATCH_DIR / 'payload_live.json'} against "
+        f"{WATCH_DIR / 'payload_plain.json'}")
+
+    # --- registry annotation: the monitored run indexes its artifacts.
+    assert set(report["records"]) == {"live", "plain"}
+    live_record = report["records"]["live"]
+    assert live_record.live_path == str(WATCH_DIR / "live.jsonl")
+    assert live_record.chrome_trace_path == str(WATCH_DIR / "live.trace.json")
+    assert (live_record.pool.get("stats") or {}).get("stragglers"), \
+        "pool stats lost the straggler ranking"

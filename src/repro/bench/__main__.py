@@ -49,11 +49,23 @@ shards are folded into the parent run, so ``--trace`` and the registry
 record one coherent run annotated with the worker count::
 
     python -m repro.bench efficiency --workers 4 --cell-timeout 600
+
+Live observability (grid sweeps): ``--watch`` renders a one-line live
+status while the sweep runs; ``--live PATH`` streams worker heartbeats,
+sampled RSS watermarks, and stall flags (silent for ``--stall-fraction``
+of the cell timeout, flagged *before* the kill) to a JSONL file and
+exports a Perfetto-loadable Chrome trace next to it after the run. Live
+events are observability only — they never enter the canonical result
+payload, so the serial≡parallel byte-identity gate is unaffected::
+
+    python -m repro.bench efficiency --workers 4 --cell-timeout 600 \\
+        --watch --live benchmarks/results/live.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from pathlib import Path
 from typing import Dict
@@ -131,6 +143,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace", type=str, default=None, metavar="PATH",
                         help="stream telemetry events to this JSONL file and "
                              "write a run manifest next to it")
+    parser.add_argument("--watch", action="store_true",
+                        help="render a one-line live status of the sweep "
+                             "(cells running/ok/failed, stragglers, stalls, "
+                             "peak RSS) to stderr while it runs "
+                             "(grid sweeps with telemetry only)")
+    parser.add_argument("--live", type=str, default=None, metavar="PATH",
+                        help="stream live heartbeat/stall/RSS events to this "
+                             "JSONL file and export a Perfetto-loadable "
+                             "Chrome trace (same stem, .trace.json) after "
+                             "the run (grid sweeps with telemetry only)")
+    parser.add_argument("--stall-fraction", type=float, default=0.5,
+                        metavar="F",
+                        help="flag a cell stalled once its heartbeat has "
+                             "been silent for F x --cell-timeout, before "
+                             "the timeout kill (0 < F < 1, default 0.5)")
     parser.add_argument("--no-telemetry", action="store_true",
                         help="disable span/metric collection entirely")
     parser.add_argument("--no-cache", action="store_true",
@@ -310,6 +337,15 @@ def main(argv=None) -> int:
     if args.trace and args.no_telemetry:
         parser.error("--trace requires telemetry; drop --no-telemetry")
 
+    live_requested = args.watch or args.live is not None
+    if live_requested and args.no_telemetry:
+        parser.error("--watch/--live require telemetry; drop --no-telemetry")
+    if live_requested and args.experiment not in POOLED_EXPERIMENTS:
+        parser.error(f"--watch/--live apply to the grid sweeps only "
+                     f"({', '.join(POOLED_EXPERIMENTS)})")
+    if not 0.0 < args.stall_fraction < 1.0:
+        parser.error("--stall-fraction must be strictly between 0 and 1")
+
     entry = EXPERIMENTS.get(args.experiment)
     if entry is None:
         parser.error(f"unknown experiment {args.experiment!r}; use --list")
@@ -358,8 +394,18 @@ def main(argv=None) -> int:
         kwargs["root_seed"] = args.root_seed
 
     telemetry_on = not args.no_telemetry
+    span_epoch_wall = None
     if telemetry_on:
-        telemetry.configure(trace_path=args.trace)
+        tracer = telemetry.configure(trace_path=args.trace)
+        span_epoch_wall = tracer.wall_epoch
+    monitor = None
+    monitor_scope = contextlib.nullcontext()
+    if live_requested:
+        monitor = telemetry.SweepMonitor(
+            sink=telemetry.JsonlSink(args.live) if args.live else None,
+            config=telemetry.LiveConfig(stall_fraction=args.stall_fraction,
+                                        watch=args.watch))
+        monitor_scope = telemetry.monitoring(monitor)
     cache_was_enabled = runtime_cache.is_enabled()
     plan_was_enabled = runtime_plan.is_enabled()
     if args.no_cache:
@@ -371,8 +417,9 @@ def main(argv=None) -> int:
     if args.no_plan or args.no_cache:
         runtime_plan.set_enabled(False)
     try:
-        with telemetry.span("experiment", experiment=args.experiment,
-                            artifact=artifact):
+        with monitor_scope, \
+                telemetry.span("experiment", experiment=args.experiment,
+                               artifact=artifact):
             rows = runner(**kwargs)
     finally:
         events = telemetry.shutdown() if telemetry_on else []
@@ -407,6 +454,17 @@ def main(argv=None) -> int:
         telemetry.write_manifest(manifest_path, run_manifest)
         print(f"trace: {args.trace}  manifest: {manifest_path}")
         print(render_run_telemetry(events))
+    chrome_trace_path = None
+    if args.live:
+        live_file = Path(args.live)
+        chrome_trace_path = telemetry.export_chrome_trace(
+            live_file.with_name(live_file.stem + ".trace.json"),
+            telemetry.load_events(live_file),
+            span_events=events, span_epoch_wall=span_epoch_wall)
+        live_summary = monitor.summary() if monitor is not None else {}
+        print(f"live: {args.live}  chrome-trace: {chrome_trace_path}  "
+              f"(heartbeats: {live_summary.get('heartbeats', 0)}, "
+              f"stalls: {live_summary.get('stalls', 0)})")
     if run_manifest is not None and not args.no_registry:
         from .io import summarize_rows
 
@@ -422,7 +480,8 @@ def main(argv=None) -> int:
             run_manifest, events=events, summary=summarize_rows(printable),
             trace_path=args.trace, result_path=args.output,
             registry_dir=args.registry_dir,
-            workers=args.workers, pool=pool_info)
+            workers=args.workers, pool=pool_info,
+            live_path=args.live, chrome_trace_path=chrome_trace_path)
         registry_path = telemetry.default_registry_dir(args.registry_dir)
         print(f"registry: {registry_path}  "
               f"config={record.config_fingerprint}  run={record.run_id}")

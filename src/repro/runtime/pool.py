@@ -147,9 +147,20 @@ class CellResult:
         return "/".join(str(part) for part in self.key)
 
 
-def pool_stats(results: Sequence[CellResult]) -> Dict[str, int]:
-    """Retry/failure accounting over a finished sweep (registry ``pool``)."""
-    stats = {
+#: How many slowest cells :func:`pool_stats` ranks as stragglers.
+STRAGGLER_TOP_N = 5
+
+
+def pool_stats(results: Sequence[CellResult],
+               top_n: int = STRAGGLER_TOP_N) -> Dict[str, Any]:
+    """Retry/failure accounting over a finished sweep (registry ``pool``).
+
+    Besides the flat counts, ``stragglers`` ranks the ``top_n`` slowest
+    cells (label, status, attempts, seconds; slowest first, grid order on
+    ties) — the cells that bound the sweep's wall clock and the first
+    place to look when a parallel run stops scaling.
+    """
+    stats: Dict[str, Any] = {
         "cells": len(results),
         "ok": sum(1 for r in results if r.ok),
         "failed": sum(1 for r in results if not r.ok),
@@ -157,6 +168,12 @@ def pool_stats(results: Sequence[CellResult]) -> Dict[str, int]:
         "retries": sum(r.attempts - 1 for r in results),
         "timeouts": sum(1 for r in results if r.status == TIMEOUT),
     }
+    slowest = sorted(results, key=lambda r: r.seconds, reverse=True)
+    stats["stragglers"] = [
+        {"cell": r.label, "status": r.status, "attempts": r.attempts,
+         "seconds": round(r.seconds, 6)}
+        for r in slowest[:max(0, int(top_n))]
+    ]
     return stats
 
 
@@ -188,38 +205,46 @@ def _record_run_stats(results: Sequence[CellResult]) -> None:
 # ======================================================================
 # worker side
 # ======================================================================
-def _cell_entry(conn, cell: Cell, telemetry_on: bool) -> None:
+def _cell_entry(conn, cell: Cell, telemetry_on: bool, attempt: int = 1,
+                live_conn=None, rss_interval_s: float = 0.2) -> None:
     """Worker-process entry: run one cell, ship value + telemetry shard.
 
     The worker reconfigures telemetry from scratch (dropping any tracer
     state inherited through fork) so its shard contains exactly this
     cell's spans and counters. Failures are reported as data — the
     parent decides on retries; nothing propagates across the pipe as an
-    exception.
+    exception. ``live_conn`` is the attempt's dedicated side pipe for
+    live heartbeat/RSS events (``None`` when monitoring is off); it is
+    separate from the result pipe so a sheared live channel never
+    corrupts the result protocol.
     """
     import os
 
     from . import plan
+    from ..telemetry import live
 
     payload: Dict[str, Any] = {"pid": os.getpid()}
+    send = live_conn.send if live_conn is not None else None
     try:
         # A fresh planner scope per attempt: chains never leak in via
         # fork, so a cell computes the same value under any start method.
-        if telemetry_on:
-            from .. import telemetry
+        with live.worker_session(send, cell.label, attempt,
+                                 rss_interval_s=rss_interval_s):
+            if telemetry_on:
+                from .. import telemetry
 
-            telemetry.shutdown()  # discard fork-inherited tracer state
-            tracer = telemetry.configure()
-            with telemetry.span("cell", cell=cell.label), \
-                    plan.plan_scope(fresh=True):
-                value = cell.fn(**cell.kwargs)
-            metrics_state = tracer.metrics.to_state()
-            events = telemetry.shutdown()
-            payload.update(ok=True, value=value, events=events,
-                           metrics=metrics_state)
-        else:
-            with plan.plan_scope(fresh=True):
-                payload.update(ok=True, value=cell.fn(**cell.kwargs))
+                telemetry.shutdown()  # discard fork-inherited tracer state
+                tracer = telemetry.configure()
+                with telemetry.span("cell", cell=cell.label), \
+                        plan.plan_scope(fresh=True):
+                    value = cell.fn(**cell.kwargs)
+                metrics_state = tracer.metrics.to_state()
+                events = telemetry.shutdown()
+                payload.update(ok=True, value=value, events=events,
+                               metrics=metrics_state)
+            else:
+                with plan.plan_scope(fresh=True):
+                    payload.update(ok=True, value=cell.fn(**cell.kwargs))
     except BaseException as exc:  # noqa: BLE001 - crash isolation boundary
         payload = {"pid": payload.get("pid"), "ok": False,
                    "error": f"{type(exc).__name__}: {exc}"}
@@ -229,6 +254,11 @@ def _cell_entry(conn, cell: Cell, telemetry_on: bool) -> None:
         pass  # parent gone or payload unpicklable; parent sees a crash
     finally:
         conn.close()
+        if live_conn is not None:
+            try:
+                live_conn.close()
+            except OSError:
+                pass
 
 
 # ======================================================================
@@ -241,6 +271,9 @@ class _Attempt:
     attempt: int
     deadline: Optional[float]
     started: float
+    #: Parent end of the attempt's live-event side pipe (None when live
+    #: monitoring is off or the channel has sheared).
+    live_conn: Any = None
 
 
 def _default_start_method() -> str:
@@ -257,32 +290,64 @@ def execute_cells(cells: Sequence[Cell],
     propagate); ``workers>1`` fans out to worker processes with timeout,
     bounded retry, and crash isolation, then folds each successful cell's
     telemetry shard into the active run in deterministic cell order.
+
+    When a :class:`~repro.telemetry.live.SweepMonitor` is installed
+    (``live.monitoring(...)`` around the sweep), the executor streams
+    live heartbeat/RSS/stall events through it — observability only,
+    never part of the results or the canonical payload.
     """
+    from ..telemetry import live
+
     config = config or PoolConfig()
     cells = list(cells)
+    monitor = live.current_monitor()
+    if monitor is not None:
+        monitor.sweep_started(len(cells), config.workers,
+                              config.cell_timeout)
     if config.workers <= 1:
-        results = [_run_inline(cell) for cell in cells]
+        results = [_run_inline(cell, monitor) for cell in cells]
     else:
-        results = _run_pooled(cells, config)
+        results = _run_pooled(cells, config, monitor)
     _record_run_stats(results)
+    if monitor is not None:
+        monitor.sweep_finished(pool_stats(results))
     return results
 
 
-def _run_inline(cell: Cell) -> CellResult:
+def _run_inline(cell: Cell, monitor=None) -> CellResult:
     from .. import telemetry
+    from ..telemetry import live
 
+    send = monitor.handle_event if monitor is not None else None
+    rss_interval = (monitor.config.rss_interval_s
+                    if monitor is not None else 0.2)
+    if monitor is not None:
+        monitor.attempt_launched(cell.label, 1)
     started = time.perf_counter()
-    with telemetry.span("cell", cell=cell.label):
-        value = cell.fn(**cell.kwargs)
+    try:
+        with live.worker_session(send, cell.label, 1,
+                                 rss_interval_s=rss_interval), \
+                telemetry.span("cell", cell=cell.label):
+            value = cell.fn(**cell.kwargs)
+    except BaseException:
+        if monitor is not None:
+            monitor.cell_finished(cell.label, 1, ERROR,
+                                  time.perf_counter() - started)
+        raise
+    seconds = time.perf_counter() - started
+    if monitor is not None:
+        monitor.cell_finished(cell.label, 1, OK, seconds)
     telemetry.inc_counter("pool.cells.ok")
     return CellResult(key=cell.key, status=OK, value=value, attempts=1,
-                      seconds=time.perf_counter() - started)
+                      seconds=seconds)
 
 
-def _run_pooled(cells: List[Cell], config: PoolConfig) -> List[CellResult]:
+def _run_pooled(cells: List[Cell], config: PoolConfig,
+                monitor=None) -> List[CellResult]:
     import multiprocessing as mp
 
     from .. import telemetry
+    from ..telemetry import live
 
     ctx = mp.get_context(config.start_method or _default_start_method())
     telemetry_on = telemetry.enabled()
@@ -290,7 +355,24 @@ def _run_pooled(cells: List[Cell], config: PoolConfig) -> List[CellResult]:
     pending = deque((index, 1) for index in range(len(cells)))
     active: Dict[int, _Attempt] = {}
 
+    def drain_live(attempt: _Attempt) -> None:
+        # Non-blocking: ship whatever live events the worker has queued to
+        # the monitor; a sheared live channel just ends the stream.
+        if monitor is None or attempt.live_conn is None:
+            return
+        try:
+            while attempt.live_conn.poll(0):
+                monitor.handle_event(attempt.live_conn.recv())
+        except (EOFError, OSError):
+            attempt.live_conn = None
+
     def retire(index: int, attempt: _Attempt) -> None:
+        drain_live(attempt)
+        if attempt.live_conn is not None:
+            try:
+                attempt.live_conn.close()
+            except OSError:
+                pass
         try:
             attempt.conn.close()
         except OSError:
@@ -300,32 +382,56 @@ def _run_pooled(cells: List[Cell], config: PoolConfig) -> List[CellResult]:
 
     def fail_or_retry(index: int, attempt: _Attempt, status: str,
                       error: str) -> None:
+        seconds = time.monotonic() - attempt.started
         if attempt.attempt <= config.max_retries:
             telemetry.inc_counter("pool.cells.retried")
+            if monitor is not None:
+                monitor.cell_finished(cells[index].label, attempt.attempt,
+                                      live.RETRYING, seconds)
             pending.append((index, attempt.attempt + 1))
             return
         results[index] = CellResult(
             key=cells[index].key, status=status, error=error,
-            attempts=attempt.attempt,
-            seconds=time.monotonic() - attempt.started)
+            attempts=attempt.attempt, seconds=seconds)
         telemetry.inc_counter("pool.cells.failed")
         telemetry.inc_counter(f"pool.cells.{status}")
+        if monitor is not None:
+            monitor.cell_finished(cells[index].label, attempt.attempt,
+                                  status, seconds)
 
     while pending or active:
         while pending and len(active) < config.workers:
             index, attempt_no = pending.popleft()
             parent_conn, child_conn = ctx.Pipe(duplex=False)
-            proc = ctx.Process(target=_cell_entry,
-                               args=(child_conn, cells[index], telemetry_on),
-                               daemon=True)
+            live_parent = live_child = None
+            if monitor is not None:
+                live_parent, live_child = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=_cell_entry,
+                args=(child_conn, cells[index], telemetry_on, attempt_no,
+                      live_child, (monitor.config.rss_interval_s
+                                   if monitor is not None else 0.2)),
+                daemon=True)
             proc.start()
             child_conn.close()
+            if live_child is not None:
+                live_child.close()
+            if monitor is not None:
+                monitor.attempt_launched(cells[index].label, attempt_no)
             now = time.monotonic()
             deadline = now + config.cell_timeout \
                 if config.cell_timeout is not None else None
             active[index] = _Attempt(proc=proc, conn=parent_conn,
                                      attempt=attempt_no, deadline=deadline,
-                                     started=now)
+                                     started=now, live_conn=live_parent)
+
+        # Drain live side pipes and run stall detection *before* the
+        # completion/timeout scan: a stalled attempt's ``stall`` event is
+        # emitted strictly before the deadline kill below retires it.
+        if monitor is not None:
+            for attempt in active.values():
+                drain_live(attempt)
+            monitor.check()
 
         progressed = False
         for index, attempt in list(active.items()):
@@ -351,6 +457,10 @@ def _run_pooled(cells: List[Cell], config: PoolConfig) -> List[CellResult]:
                         metrics_state=payload.get("metrics"))
                     telemetry.inc_counter("pool.cells.ok")
                     retire(index, attempt)
+                    if monitor is not None:
+                        monitor.cell_finished(cells[index].label,
+                                              attempt.attempt, OK,
+                                              results[index].seconds)
                 elif payload is not None:
                     error = payload.get("error") or "cell raised"
                     retire(index, attempt)

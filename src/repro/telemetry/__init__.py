@@ -44,11 +44,21 @@ import threading
 from typing import Dict, List, Optional, Union
 
 from .hooks import install_op_hooks, uninstall_op_hooks
+from .live import (
+    LiveConfig,
+    LiveEmitter,
+    RssSampler,
+    SweepMonitor,
+    monitoring,
+    tick,
+    worker_session,
+)
 from .manifest import (
     MANIFEST_SUFFIX,
     build_manifest,
     dataset_fingerprint,
     git_sha,
+    hardware_info,
     manifest_path_for,
     platform_info,
     read_manifest,
@@ -93,6 +103,7 @@ from .sinks import (
     load_events,
 )
 from .spans import NOOP_SPAN, Span, Tracer
+from .trace_export import chrome_trace_events, export_chrome_trace
 
 _tracer: Optional[Tracer] = None
 _memory: Optional[MemorySink] = None
@@ -282,7 +293,18 @@ __all__ = [
     "dataset_fingerprint",
     "git_sha",
     "platform_info",
+    "hardware_info",
     "MANIFEST_SUFFIX",
+    # live sweep observatory
+    "LiveConfig",
+    "LiveEmitter",
+    "RssSampler",
+    "SweepMonitor",
+    "monitoring",
+    "tick",
+    "worker_session",
+    "chrome_trace_events",
+    "export_chrome_trace",
     # reporting
     "render_trace_report",
     "render_top_spans",

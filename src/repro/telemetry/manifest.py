@@ -13,6 +13,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import os
 import platform
 import subprocess
 import sys
@@ -51,6 +52,25 @@ def platform_info() -> Dict[str, str]:
         "numpy": np.__version__,
         "scipy": scipy.__version__,
     }
+
+
+def hardware_info() -> Dict[str, int]:
+    """Host capacity snapshot: logical CPU count and total RAM in bytes.
+
+    Makes registry diffs across machines interpretable — a 2× stage
+    slowdown means something different on a 4-core laptop than on the
+    64-core bench host. Stable on one machine (so manifests stay
+    deterministic there) and deliberately excluded from the config
+    fingerprint, like the rest of the platform block. Unknown values
+    report 0 rather than failing the manifest build.
+    """
+    info = {"cpu_count": os.cpu_count() or 0, "total_ram_bytes": 0}
+    try:
+        info["total_ram_bytes"] = (int(os.sysconf("SC_PHYS_PAGES"))
+                                   * int(os.sysconf("SC_PAGE_SIZE")))
+    except (AttributeError, ValueError, OSError):
+        pass  # non-POSIX or sysconf key missing
+    return info
 
 
 def dataset_fingerprint(graph) -> str:
@@ -116,6 +136,7 @@ def build_manifest(
         "repro_version": __version__,
         "git_sha": git_sha(Path(__file__).resolve().parent),
         "platform": platform_info(),
+        "hardware": hardware_info(),
         "seed": None if seed is None else int(seed),
         "config": _plain(config) if config is not None else None,
         "datasets": dict(sorted((datasets or {}).items())),

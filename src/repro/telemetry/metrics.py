@@ -252,6 +252,16 @@ class MetricsRegistry:
     def get_counter(self, name: str) -> Optional[Counter]:
         return self._counters.get(name)
 
+    def counter_values(self) -> Dict[str, float]:
+        """Point-in-time ``name -> value`` read of every counter.
+
+        Unlocked reads (counter values are single attributes), sorted for
+        stable output — the cheap snapshot the live heartbeat path diffs
+        to report per-tick counter deltas.
+        """
+        return {name: counter.value
+                for name, counter in sorted(self._counters.items())}
+
     def merge_from(self, other: "MetricsRegistry") -> "MetricsRegistry":
         """Fold another registry (e.g. a worker process's) into this one.
 

@@ -40,9 +40,11 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 PathLike = Union[str, Path]
 
 #: Record schema. v2 (PR 4) added the ``workers`` count and the ``pool``
-#: execution-policy block for parallel sweeps; v1 lines (no such keys)
-#: still load — :meth:`RunRecord.from_dict` fills the serial defaults.
-REGISTRY_SCHEMA = "repro.telemetry.registry/v2"
+#: execution-policy block for parallel sweeps; v3 (PR 6) added the
+#: ``live_path``/``chrome_trace_path`` pointers to a run's live-telemetry
+#: artifacts. Older lines (no such keys) still load —
+#: :meth:`RunRecord.from_dict` fills the serial/None defaults.
+REGISTRY_SCHEMA = "repro.telemetry.registry/v3"
 
 #: File name of the append-only index inside the registry directory.
 REGISTRY_FILENAME = "runs.jsonl"
@@ -118,6 +120,12 @@ class RunRecord:
     summary: Dict = field(default_factory=dict)
     trace_path: Optional[str] = None
     result_path: Optional[str] = None
+    #: Live-telemetry artifacts of a monitored sweep (schema v3; None for
+    #: unmonitored runs and pre-v3 records): the ``live.jsonl`` heartbeat/
+    #: stall/RSS event stream and the Perfetto-loadable Chrome trace
+    #: exported from it post-run.
+    live_path: Optional[str] = None
+    chrome_trace_path: Optional[str] = None
 
     def to_dict(self) -> Dict:
         return dataclasses.asdict(self)
@@ -138,6 +146,8 @@ def build_record(
     timestamp: Optional[float] = None,
     workers: int = 1,
     pool: Optional[Mapping] = None,
+    live_path: Optional[PathLike] = None,
+    chrome_trace_path: Optional[PathLike] = None,
 ) -> RunRecord:
     """Assemble a :class:`RunRecord` from a manifest plus run snapshots.
 
@@ -146,6 +156,8 @@ def build_record(
     any flat name → number map (e.g. column means of the result rows).
     ``workers``/``pool`` annotate parallel sweeps (schema v2): the pool
     width and its execution policy / retry accounting.
+    ``live_path``/``chrome_trace_path`` point at the live event stream
+    and the exported Chrome trace of a monitored sweep (schema v3).
     """
     timestamp = time.time() if timestamp is None else float(timestamp)
     fingerprint = config_fingerprint(manifest)
@@ -168,6 +180,9 @@ def build_record(
         summary=dict(summary or {}),
         trace_path=str(trace_path) if trace_path is not None else None,
         result_path=str(result_path) if result_path is not None else None,
+        live_path=str(live_path) if live_path is not None else None,
+        chrome_trace_path=(str(chrome_trace_path)
+                           if chrome_trace_path is not None else None),
     )
 
 
@@ -344,6 +359,8 @@ def record_run(
     registry_dir: Optional[PathLike] = None,
     workers: int = 1,
     pool: Optional[Mapping] = None,
+    live_path: Optional[PathLike] = None,
+    chrome_trace_path: Optional[PathLike] = None,
 ) -> RunRecord:
     """One-call indexing: fold a finished run's artifacts into the registry.
 
@@ -367,6 +384,8 @@ def record_run(
         result_path=result_path,
         workers=workers,
         pool=pool,
+        live_path=live_path,
+        chrome_trace_path=chrome_trace_path,
     )
     RunRegistry(registry_dir).append(record)
     return record

@@ -101,8 +101,20 @@ class TeeSink(EventSink):
 
 
 def _json_default(value):
-    """Serialize numpy scalars and anything else with a float/str view."""
-    for cast in (int, float):
+    """Serialize numpy scalars and anything else with a float/str view.
+
+    Numpy scalars (and 0-d arrays) unwrap via ``.item()`` so fractional
+    values keep their fraction — the previous int-first cast truncated
+    ``float32(0.5)`` to ``0`` in the trace. Everything else falls back to
+    an int/float view when it has one, else ``str``.
+    """
+    item = getattr(value, "item", None)
+    if item is not None and getattr(value, "ndim", None) in (None, 0):
+        try:
+            return item()
+        except (TypeError, ValueError):
+            pass
+    for cast in (float, int):
         try:
             return cast(value)
         except (TypeError, ValueError):
@@ -111,11 +123,25 @@ def _json_default(value):
 
 
 def load_events(path: PathLike) -> List[Dict]:
-    """Read a JSONL trace back into a list of event dicts."""
-    events: List[Dict] = []
+    """Read a JSONL trace back into a list of event dicts.
+
+    A killed writer (timed-out worker, crashed run) legitimately leaves a
+    torn final line, so an undecodable *tail* is silently dropped — the
+    events before it are intact and loadable. An undecodable line in the
+    middle of the file is real corruption and still raises.
+    """
+    raw: List[str] = []
     with Path(path).open("r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
             if line:
-                events.append(json.loads(line))
+                raw.append(line)
+    events: List[Dict] = []
+    for index, line in enumerate(raw):
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if index == len(raw) - 1:
+                break  # torn tail of an interrupted writer
+            raise
     return events

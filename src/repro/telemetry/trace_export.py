@@ -1,0 +1,198 @@
+"""Chrome Trace Event Format export: sweeps viewable in Perfetto.
+
+Converts a finished run's artifacts — the live event stream written by
+:mod:`repro.telemetry.live` plus the span tree from the ordinary trace —
+into the Chrome Trace Event JSON format (the ``trace.json`` that
+https://ui.perfetto.dev and ``chrome://tracing`` open directly):
+
+- one **track per worker process** (``tid`` = worker pid) carrying the
+  cell execution slices (``ph: "X"`` complete events built from
+  ``cell_start``/``cell_finish`` pairs), the folded worker span tree
+  re-based at each cell's start time, and instant heartbeat markers;
+- a **scheduler track** (``tid`` 0) with parent-side spans, cell-launch
+  markers, and global stall instants;
+- an **RSS counter track** (``ph: "C"``, name ``rss``) with one series
+  per worker, fed by the sampled watermarks — the memory timeline.
+
+Timestamps: live events carry wall-clock ``t`` seconds (comparable
+across processes on one host); span events carry ``t_start_s`` relative
+to their tracer's epoch. Worker spans are re-based at the wall time of
+their cell's ``cell_start`` (the worker configures its tracer at attempt
+start), parent spans at ``span_epoch_wall`` when the caller provides it.
+Everything is shifted so the earliest event sits at ts=0 and expressed
+in integer microseconds, as the format requires.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from .sinks import _json_default
+
+PathLike = Union[str, Path]
+
+#: The single virtual process all tracks live under.
+TRACE_PID = 1
+
+#: The parent/scheduler track.
+SCHEDULER_TID = 0
+
+
+def _us(wall_s: float, t0: float) -> int:
+    return max(0, int(round((wall_s - t0) * 1e6)))
+
+
+def _worker_pids(live_events: Sequence[Mapping]) -> List[int]:
+    """Worker pids in order of first appearance in the live stream."""
+    pids: List[int] = []
+    for event in live_events:
+        pid = event.get("pid")
+        if pid is not None and event.get("type") != "stall" \
+                and pid not in pids:
+            pids.append(int(pid))
+    return pids
+
+
+def _cell_starts(live_events: Sequence[Mapping]) -> Dict[tuple, Mapping]:
+    """``(cell, attempt) -> cell_start event`` (last one wins on retry)."""
+    starts: Dict[tuple, Mapping] = {}
+    for event in live_events:
+        if event.get("type") == "cell_start":
+            starts[(event.get("cell"),
+                    int(event.get("attempt") or 1))] = event
+    return starts
+
+
+def chrome_trace_events(live_events: Sequence[Mapping],
+                        span_events: Iterable[Mapping] = (),
+                        span_epoch_wall: Optional[float] = None,
+                        ) -> List[Dict]:
+    """Build the ``traceEvents`` list from live + span event streams."""
+    live_events = [e for e in live_events if isinstance(e.get("t"),
+                                                        (int, float))]
+    span_events = [e for e in span_events if e.get("type") == "span"]
+    times = [float(e["t"]) for e in live_events]
+    if span_epoch_wall is not None:
+        times.append(float(span_epoch_wall))
+    t0 = min(times) if times else 0.0
+
+    starts = _cell_starts(live_events)
+    pids = _worker_pids(live_events)
+    out: List[Dict] = [
+        {"ph": "M", "name": "process_name", "pid": TRACE_PID,
+         "args": {"name": "repro sweep"}},
+        {"ph": "M", "name": "thread_name", "pid": TRACE_PID,
+         "tid": SCHEDULER_TID, "args": {"name": "scheduler"}},
+        {"ph": "M", "name": "thread_sort_index", "pid": TRACE_PID,
+         "tid": SCHEDULER_TID, "args": {"sort_index": 0}},
+    ]
+    for order, pid in enumerate(pids, start=1):
+        out.append({"ph": "M", "name": "thread_name", "pid": TRACE_PID,
+                    "tid": pid, "args": {"name": f"worker {pid}"}})
+        out.append({"ph": "M", "name": "thread_sort_index", "pid": TRACE_PID,
+                    "tid": pid, "args": {"sort_index": order}})
+
+    # -- cell slices: cell_start .. cell_finish per attempt --------------
+    last_t = max(times) if times else 0.0
+    finishes = {(e.get("cell"), int(e.get("attempt") or 1)): e
+                for e in live_events if e.get("type") == "cell_finish"}
+    for key, start in starts.items():
+        finish = finishes.get(key)
+        end_t = float(finish["t"]) if finish is not None else last_t
+        tid = int(start.get("pid") or SCHEDULER_TID)
+        args = {"attempt": key[1]}
+        if finish is not None:
+            args["status"] = finish.get("status")
+            args["seconds"] = finish.get("seconds")
+        out.append({"name": str(key[0]), "cat": "cell", "ph": "X",
+                    "ts": _us(float(start["t"]), t0),
+                    "dur": max(1, _us(end_t, t0)
+                               - _us(float(start["t"]), t0)),
+                    "pid": TRACE_PID, "tid": tid, "args": args})
+
+    # -- instants, counters ----------------------------------------------
+    for event in live_events:
+        kind = event.get("type")
+        ts = _us(float(event["t"]), t0)
+        if kind == "heartbeat":
+            args = {k: event[k] for k in ("kind", "epoch", "loss", "counters")
+                    if event.get(k) is not None}
+            out.append({"name": "heartbeat", "cat": "live", "ph": "i",
+                        "s": "t", "ts": ts, "pid": TRACE_PID,
+                        "tid": int(event.get("pid") or SCHEDULER_TID),
+                        "args": args})
+        elif kind == "rss":
+            pid = event.get("pid")
+            if pid is None:
+                continue
+            out.append({"name": "rss", "ph": "C", "ts": ts,
+                        "pid": TRACE_PID, "tid": SCHEDULER_TID,
+                        "args": {f"w{pid}": round(
+                            float(event.get("watermark_bytes") or 0)
+                            / 2 ** 20, 2)}})
+        elif kind == "stall":
+            out.append({"name": "stall", "cat": "live", "ph": "i", "s": "g",
+                        "ts": ts, "pid": TRACE_PID,
+                        "tid": int(event.get("pid") or SCHEDULER_TID),
+                        "args": {"cell": event.get("cell"),
+                                 "attempt": event.get("attempt"),
+                                 "silent_s": event.get("silent_s"),
+                                 "threshold_s": event.get("threshold_s")}})
+        elif kind in ("cell_launch", "sweep_start", "sweep_finish"):
+            out.append({"name": kind, "cat": "live", "ph": "i", "s": "t",
+                        "ts": ts, "pid": TRACE_PID, "tid": SCHEDULER_TID,
+                        "args": {k: v for k, v in event.items()
+                                 if k not in ("type", "t")}})
+
+    # -- span tree ---------------------------------------------------------
+    # A folded worker span carries attrs.shard == its cell label and
+    # t_start_s relative to the *worker's* tracer epoch, which coincides
+    # (within ms) with the cell's cell_start wall time — the re-base.
+    start_by_cell: Dict[str, Mapping] = {}
+    for (cell, _attempt), start in starts.items():
+        start_by_cell[cell] = start  # attempts ascend; last (successful) wins
+    for event in span_events:
+        attrs = event.get("attrs") or {}
+        shard = attrs.get("shard")
+        if shard is not None:
+            start = start_by_cell.get(shard)
+            if start is None:
+                continue  # worker span with no cell_start: no clock base
+            base = float(start["t"])
+            tid = int(start.get("pid") or SCHEDULER_TID)
+        elif span_epoch_wall is not None:
+            base = float(span_epoch_wall)
+            tid = SCHEDULER_TID
+        else:
+            continue  # no clock base for this span; skip rather than lie
+        start_s = float(event.get("t_start_s") or 0.0)
+        duration = float(event.get("duration_s") or 0.0)
+        out.append({"name": str(event.get("name")), "cat": "span", "ph": "X",
+                    "ts": _us(base + start_s, t0),
+                    "dur": max(1, int(round(duration * 1e6))),
+                    "pid": TRACE_PID, "tid": tid,
+                    "args": {"alloc_bytes": event.get("alloc_bytes"),
+                             **{k: v for k, v in attrs.items()}}})
+    out.sort(key=lambda e: (e.get("ts", 0), e.get("tid", 0)))
+    return out
+
+
+def export_chrome_trace(path: PathLike,
+                        live_events: Sequence[Mapping],
+                        span_events: Iterable[Mapping] = (),
+                        span_epoch_wall: Optional[float] = None) -> Path:
+    """Write a Perfetto-loadable ``trace.json``; returns its path."""
+    payload = {
+        "traceEvents": chrome_trace_events(live_events, span_events,
+                                           span_epoch_wall),
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.telemetry.trace_export",
+                      "schema": "chrome-trace-event/json-array"},
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, separators=(",", ":"),
+                               default=_json_default) + "\n")
+    return path

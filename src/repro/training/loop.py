@@ -15,6 +15,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from .. import telemetry
+from ..telemetry import live
 from ..autodiff.optim import Adam
 from ..nn.module import Module
 from ..runtime.device import DeviceModel
@@ -174,8 +175,12 @@ def record_epoch_telemetry(
     early-stop state) and the loss/score histograms the report's sparkline
     table renders. A no-op when telemetry is disabled, so trainers call it
     unconditionally; the (mildly costly) grad norm is only computed while
-    a tracer is active.
+    a tracer is active. Also the sweep's liveness pulse: each epoch sends
+    a throttled live heartbeat (one global ``None`` check when no live
+    emitter is installed) so monitored cells prove progress every epoch.
     """
+    live.tick("epoch", epoch=int(epoch),
+              loss=None if loss is None else float(loss))
     if not telemetry.enabled():
         return
     grad_norm = grad_global_norm(model) if model is not None else None

@@ -179,6 +179,65 @@ class TestPoolCli:
         assert record.metrics["counters"]["pool.cells.ok"] == 2
 
 
+class TestLiveCli:
+    def test_parser_accepts_live_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["efficiency", "--watch",
+                                  "--live", "out/live.jsonl",
+                                  "--stall-fraction", "0.3"])
+        assert args.watch is True
+        assert args.live == "out/live.jsonl"
+        assert args.stall_fraction == 0.3
+
+    def test_watch_rejected_with_no_telemetry(self):
+        with pytest.raises(SystemExit):
+            main(["efficiency", "--watch", "--no-telemetry"])
+        with pytest.raises(SystemExit):
+            main(["efficiency", "--live", "x.jsonl", "--no-telemetry"])
+
+    def test_watch_rejected_outside_grid_sweeps(self):
+        with pytest.raises(SystemExit):
+            main(["taxonomy", "--watch"])
+        with pytest.raises(SystemExit):
+            main(["regression", "--live", "x.jsonl"])
+
+    def test_stall_fraction_must_be_a_proper_fraction(self):
+        for bad in ("0", "1", "1.5", "-0.2"):
+            with pytest.raises(SystemExit):
+                main(["efficiency", "--watch", "--stall-fraction", bad])
+
+    def test_live_run_writes_stream_trace_and_registry_pointers(
+            self, tmp_path, capsys):
+        from repro.telemetry.registry import RunRegistry
+        from repro.telemetry.sinks import load_events
+
+        live_path = tmp_path / "live.jsonl"
+        code = main(TestPoolCli.EFFICIENCY
+                    + ["--workers", "2", "--live", str(live_path),
+                       "--registry-dir", str(tmp_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "live:" in out and "chrome-trace:" in out
+
+        events = load_events(live_path)
+        types = {e["type"] for e in events}
+        assert {"sweep_start", "cell_start", "heartbeat",
+                "cell_finish", "sweep_finish"} <= types
+
+        trace_path = tmp_path / "live.trace.json"
+        assert trace_path.exists()
+        import json
+
+        trace = json.loads(trace_path.read_text())
+        assert trace["traceEvents"], "empty Chrome trace"
+
+        record = RunRegistry(tmp_path).load()[0]
+        assert record.live_path == str(live_path)
+        assert record.chrome_trace_path == str(trace_path)
+        assert record.pool["stats"]["stragglers"], \
+            "straggler ranking missing from the registry record"
+
+
 class TestRegistryCliErrors:
     def test_compare_registry_unknown_spec_exits_2(self, tmp_path, capsys):
         code = main(["compare", "--registry", "feedfacefeed",

@@ -20,11 +20,14 @@ from repro.runtime.pool import (
     CRASHED,
     ERROR,
     OK,
+    STRAGGLER_TOP_N,
     TIMEOUT,
     Cell,
+    CellResult,
     PoolConfig,
     derive_cell_seed,
     execute_cells,
+    last_run_stats,
     pool_stats,
 )
 
@@ -159,8 +162,10 @@ class TestPooled:
             "a raising cell must not abort its siblings"
 
         stats = pool_stats(results)
+        stragglers = stats.pop("stragglers")
         assert stats == {"cells": 3, "ok": 2, "failed": 1,
                          "attempts": 5, "retries": 2, "timeouts": 0}
+        assert len(stragglers) == 3
 
     def test_hard_crash_reported_not_raised(self):
         cells = make_cells(2)
@@ -195,6 +200,49 @@ class TestPooled:
         assert results[0].value == 42
         assert results[0].attempts == 2
         assert pool_stats(results)["retries"] == 1
+
+
+# ---------------------------------------------------------------------------
+# straggler ranking: the slowest cells surface in pool stats
+# ---------------------------------------------------------------------------
+
+def _result(label, seconds, status=OK, attempts=1):
+    return CellResult(key=(label,), status=status, attempts=attempts,
+                      seconds=seconds)
+
+
+class TestStragglerRanking:
+    def test_slowest_first_with_labels_and_attempts(self):
+        results = [_result("fast", 0.1), _result("slow", 9.0, attempts=2),
+                   _result("mid", 3.0, status=TIMEOUT)]
+        stragglers = pool_stats(results)["stragglers"]
+        assert [s["cell"] for s in stragglers] == ["slow", "mid", "fast"]
+        assert stragglers[0] == {"cell": "slow", "status": OK,
+                                 "attempts": 2, "seconds": 9.0}
+        assert stragglers[1]["status"] == TIMEOUT
+
+    def test_top_n_bound_and_tie_stability(self):
+        results = [_result(f"c{i}", 1.0) for i in range(STRAGGLER_TOP_N + 3)]
+        stragglers = pool_stats(results)["stragglers"]
+        assert len(stragglers) == STRAGGLER_TOP_N
+        # Equal times keep grid order (sorted() is stable).
+        assert [s["cell"] for s in stragglers] == \
+            [f"c{i}" for i in range(STRAGGLER_TOP_N)]
+        assert pool_stats(results, top_n=2)["stragglers"][0]["cell"] == "c0"
+        assert pool_stats([], top_n=3)["stragglers"] == []
+
+    def test_stragglers_persisted_in_last_run_stats(self):
+        delays = {0: 0.0, 1: 0.2}
+        cells = [Cell(key=("cell", i), fn=_staggered_square,
+                      kwargs={"x": i, "delay": delays[i]})
+                 for i in range(2)]
+        execute_cells(cells, PoolConfig(workers=2))
+        stats = last_run_stats()
+        assert stats is not None
+        stragglers = stats["stragglers"]
+        assert stragglers[0]["cell"] == "cell/1", \
+            "the delayed cell must rank as the top straggler"
+        assert all(s["seconds"] >= 0 for s in stragglers)
 
 
 # ---------------------------------------------------------------------------

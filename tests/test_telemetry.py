@@ -236,6 +236,74 @@ class TestJsonlRoundTrip:
         assert loaded[0]["n"] == 3
 
 
+class TestSinkRobustness:
+    def test_load_events_tolerates_torn_tail(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type":"span","name":"a"}\n'
+                        '{"type":"span","name":"b"}\n'
+                        '{"type":"span","na')  # killed writer mid-line
+        events = telemetry.load_events(path)
+        assert [e["name"] for e in events] == ["a", "b"]
+
+    def test_load_events_raises_on_midfile_corruption(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type":"span","name":"a"}\n'
+                        'not json at all\n'
+                        '{"type":"span","name":"b"}\n')
+        with pytest.raises(json.JSONDecodeError):
+            telemetry.load_events(path)
+
+    def test_jsonl_sink_serializes_exotic_payloads(self, tmp_path):
+        from repro.telemetry.sinks import JsonlSink
+
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"np_int": np.int64(3), "np_float": np.float32(0.5),
+                   "array_scalar": np.array(7.0),
+                   "opaque": object()})  # falls back to str()
+        sink.close()
+        (event,) = telemetry.load_events(path)
+        assert event["np_int"] == 3
+        assert event["np_float"] == pytest.approx(0.5)
+        assert event["array_scalar"] == pytest.approx(7.0)
+        assert "object" in event["opaque"]
+
+    def test_jsonl_sink_emit_after_close_is_silent(self, tmp_path):
+        from repro.telemetry.sinks import JsonlSink
+
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.emit({"n": 1})
+        sink.close()
+        sink.emit({"n": 2})   # dropped, not raised
+        sink.flush()
+        sink.close()          # idempotent
+        assert [e["n"] for e in telemetry.load_events(path)] == [1]
+
+    def test_tee_sink_fans_out_and_closes_every_child(self):
+        class Recorder(telemetry.EventSink):
+            def __init__(self):
+                self.events, self.flushed, self.closed = [], 0, 0
+
+            def emit(self, event):
+                self.events.append(event)
+
+            def flush(self):
+                self.flushed += 1
+
+            def close(self):
+                self.closed += 1
+
+        first, second = Recorder(), Recorder()
+        tee = telemetry.TeeSink(first, second)
+        tee.emit({"n": 1})
+        tee.flush()
+        tee.close()
+        assert first.events == second.events == [{"n": 1}]
+        assert (first.flushed, second.flushed) == (1, 1)
+        assert (first.closed, second.closed) == (1, 1)
+
+
 class TestManifest:
     def test_deterministic_across_runs(self):
         config = TrainConfig(epochs=7, seed=3)
@@ -283,6 +351,25 @@ class TestManifest:
     def test_manifest_path_for(self):
         assert str(telemetry.manifest_path_for("out/x.json")).endswith(
             "x.manifest.json")
+
+    def test_hardware_snapshot_present_and_sane(self):
+        manifest = telemetry.build_manifest(seed=0)
+        hardware = manifest["hardware"]
+        assert hardware["cpu_count"] >= 1
+        assert hardware["total_ram_bytes"] >= 0
+        assert telemetry.hardware_info() == hardware  # stable on one host
+
+    def test_hardware_outside_config_fingerprint(self):
+        from repro.telemetry.registry import config_fingerprint
+
+        manifest = telemetry.build_manifest(seed=0,
+                                            extra={"experiment": "eff"})
+        perturbed = dict(manifest)
+        perturbed["hardware"] = {"cpu_count": 4096,
+                                 "total_ram_bytes": 2 ** 50}
+        assert (config_fingerprint(manifest)
+                == config_fingerprint(perturbed)), \
+            "hardware must not change a run's configuration identity"
 
 
 class TestReport:

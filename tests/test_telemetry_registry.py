@@ -237,7 +237,7 @@ class TestSchemaV2:
                                   "max_retries": 1, "retries": 0})
         loaded = RunRegistry(tmp_path).load()[0]
         assert loaded.run_id == record.run_id
-        assert loaded.schema == "repro.telemetry.registry/v2"
+        assert loaded.schema == "repro.telemetry.registry/v3"
         assert loaded.workers == 4
         assert loaded.pool["cell_timeout"] == 600.0
 
@@ -274,8 +274,39 @@ class TestSchemaV2:
         # the v1 line is the baseline, the v2 append the candidate.
         baseline, candidate = registry.resolve_pair(old.config_fingerprint)
         assert baseline.schema.endswith("/v1")
-        assert candidate.schema.endswith("/v2")
+        assert candidate.schema.endswith("/v3")
         assert passed(evaluate_pair(baseline, candidate, default_thresholds()))
+
+
+class TestSchemaV3:
+    def test_live_artifact_pointers_round_trip(self, tmp_path):
+        record = record_run(make_manifest(), registry_dir=tmp_path,
+                            workers=2, live_path="out/live.jsonl",
+                            chrome_trace_path="out/live.trace.json")
+        loaded = RunRegistry(tmp_path).load()[0]
+        assert loaded.run_id == record.run_id
+        assert loaded.live_path == "out/live.jsonl"
+        assert loaded.chrome_trace_path == "out/live.trace.json"
+
+    def test_unmonitored_run_has_no_pointers(self, tmp_path):
+        record_run(make_manifest(), registry_dir=tmp_path)
+        loaded = RunRegistry(tmp_path).load()[0]
+        assert loaded.live_path is None
+        assert loaded.chrome_trace_path is None
+
+    def test_v2_line_loads_with_none_pointers(self, tmp_path):
+        """A registry written before PR 6 still loads cleanly."""
+        registry = RunRegistry(tmp_path)
+        v2 = make_record(1.0).to_dict()
+        v2["schema"] = "repro.telemetry.registry/v2"
+        del v2["live_path"]
+        del v2["chrome_trace_path"]
+        with (tmp_path / REGISTRY_FILENAME).open("a") as handle:
+            handle.write(json.dumps(v2) + "\n")
+        (loaded,) = registry.load()
+        assert registry.corrupt_lines == 0
+        assert loaded.live_path is None
+        assert loaded.chrome_trace_path is None
 
 
 # ---------------------------------------------------------------------------
