@@ -60,6 +60,20 @@ payload, so the serial≡parallel byte-identity gate is unaffected::
 
     python -m repro.bench efficiency --workers 4 --cell-timeout 600 \\
         --watch --live benchmarks/results/live.jsonl
+
+Resumable sweeps (grid sweeps): ``--resume`` consults the
+content-addressed cell artifact store (:mod:`repro.runtime.artifacts`)
+before launching any worker — cells whose address (config fingerprint,
+grid coordinates, derived seed, code rev) matches a stored result are
+served from disk, only the remainder executes, and every successful cell
+persists back; ``--fresh`` purges the store first and repopulates it;
+``--artifact-dir`` relocates it (default ``$REPRO_ARTIFACT_DIR`` or
+``benchmarks/results/artifacts``). A resumed run's canonical payload is
+byte-identical to an uninterrupted one (the ``bench-resume`` CI gate),
+and the registry record (schema v4) carries the store's hit/miss
+accounting outside the config fingerprint::
+
+    python -m repro.bench efficiency --workers 4 --resume
 """
 
 from __future__ import annotations
@@ -158,6 +172,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="flag a cell stalled once its heartbeat has "
                              "been silent for F x --cell-timeout, before "
                              "the timeout kill (0 < F < 1, default 0.5)")
+    resume_group = parser.add_mutually_exclusive_group()
+    resume_group.add_argument(
+        "--resume", action="store_true",
+        help="serve grid cells already in the artifact store and execute "
+             "only the remainder; successful cells persist back "
+             "(grid sweeps with telemetry only)")
+    resume_group.add_argument(
+        "--fresh", action="store_true",
+        help="purge the artifact store, run every cell live, and "
+             "repopulate it (grid sweeps with telemetry only)")
+    parser.add_argument("--artifact-dir", type=str, default=None,
+                        metavar="DIR",
+                        help="cell artifact-store directory (default: "
+                             "$REPRO_ARTIFACT_DIR or "
+                             "benchmarks/results/artifacts); requires "
+                             "--resume or --fresh")
     parser.add_argument("--no-telemetry", action="store_true",
                         help="disable span/metric collection entirely")
     parser.add_argument("--no-cache", action="store_true",
@@ -393,7 +423,30 @@ def main(argv=None) -> int:
             parser.error("--root-seed applies to effectiveness only")
         kwargs["root_seed"] = args.root_seed
 
+    resume_requested = args.resume or args.fresh
+    if args.artifact_dir is not None and not resume_requested:
+        parser.error("--artifact-dir requires --resume or --fresh")
+    if resume_requested and args.no_telemetry:
+        parser.error("--resume/--fresh require telemetry; "
+                     "drop --no-telemetry")
+    if resume_requested and args.experiment not in POOLED_EXPERIMENTS:
+        parser.error(f"--resume/--fresh apply to the grid sweeps only "
+                     f"({', '.join(POOLED_EXPERIMENTS)})")
+
     telemetry_on = not args.no_telemetry
+    # The manifest is deterministic and fully known pre-run, which is
+    # what lets the artifact store address cells with the *same* config
+    # fingerprint the registry stamps on the record afterwards (argv/
+    # workers/plan live outside the fingerprint keys).
+    run_manifest = None
+    if telemetry_on:
+        run_manifest = telemetry.build_manifest(
+            config=kwargs.get("config"),
+            seed=(args.seeds[0] if args.seeds else None),
+            extra={"experiment": args.experiment, "artifact": artifact,
+                   "cache": not args.no_cache, "argv": argv,
+                   "workers": args.workers,
+                   "plan": not (args.no_plan or args.no_cache)})
     span_epoch_wall = None
     if telemetry_on:
         tracer = telemetry.configure(trace_path=args.trace)
@@ -406,6 +459,21 @@ def main(argv=None) -> int:
             config=telemetry.LiveConfig(stall_fraction=args.stall_fraction,
                                         watch=args.watch))
         monitor_scope = telemetry.monitoring(monitor)
+    sweep_artifacts = None
+    artifact_scope = contextlib.nullcontext()
+    if resume_requested:
+        from ..runtime import artifacts as runtime_artifacts
+
+        store = runtime_artifacts.ArtifactStore(args.artifact_dir)
+        if args.fresh:
+            purged = store.purge()
+            print(f"artifacts: purged {purged} stored cell(s) from "
+                  f"{store.root}", file=sys.stderr)
+        sweep_artifacts = runtime_artifacts.SweepArtifacts(
+            store=store,
+            config_fingerprint=telemetry.config_fingerprint(run_manifest),
+            consult=not args.fresh)
+        artifact_scope = runtime_artifacts.sweep_scope(sweep_artifacts)
     cache_was_enabled = runtime_cache.is_enabled()
     plan_was_enabled = runtime_plan.is_enabled()
     if args.no_cache:
@@ -417,7 +485,7 @@ def main(argv=None) -> int:
     if args.no_plan or args.no_cache:
         runtime_plan.set_enabled(False)
     try:
-        with monitor_scope, \
+        with monitor_scope, artifact_scope, \
                 telemetry.span("experiment", experiment=args.experiment,
                                artifact=artifact):
             rows = runner(**kwargs)
@@ -432,15 +500,6 @@ def main(argv=None) -> int:
                  for row in rows]
     print(render_table(printable, title=f"{args.experiment} ({artifact})"))
 
-    run_manifest = None
-    if telemetry_on:
-        run_manifest = telemetry.build_manifest(
-            config=kwargs.get("config"),
-            seed=(args.seeds[0] if args.seeds else None),
-            extra={"experiment": args.experiment, "artifact": artifact,
-                   "cache": not args.no_cache, "argv": argv,
-                   "workers": args.workers,
-                   "plan": not (args.no_plan or args.no_cache)})
     if args.output:
         from .io import save_rows
 
@@ -465,6 +524,17 @@ def main(argv=None) -> int:
         print(f"live: {args.live}  chrome-trace: {chrome_trace_path}  "
               f"(heartbeats: {live_summary.get('heartbeats', 0)}, "
               f"stalls: {live_summary.get('stalls', 0)})")
+    artifacts_info = None
+    if sweep_artifacts is not None:
+        artifacts_info = dict(
+            {"mode": "fresh" if args.fresh else "resume",
+             "dir": str(sweep_artifacts.store.root)},
+            **sweep_artifacts.stats())
+        print(f"artifacts: {sweep_artifacts.store.root}  "
+              f"mode={artifacts_info['mode']}  "
+              f"hit={artifacts_info['hit']} miss={artifacts_info['miss']} "
+              f"stored={artifacts_info['stored']} "
+              f"cells={artifacts_info['cells']}")
     if run_manifest is not None and not args.no_registry:
         from .io import summarize_rows
 
@@ -481,7 +551,8 @@ def main(argv=None) -> int:
             trace_path=args.trace, result_path=args.output,
             registry_dir=args.registry_dir,
             workers=args.workers, pool=pool_info,
-            live_path=args.live, chrome_trace_path=chrome_trace_path)
+            live_path=args.live, chrome_trace_path=chrome_trace_path,
+            artifacts=artifacts_info)
         registry_path = telemetry.default_registry_dir(args.registry_dir)
         print(f"registry: {registry_path}  "
               f"config={record.config_fingerprint}  run={record.run_id}")

@@ -28,7 +28,18 @@ from ..telemetry.sinks import load_events
 PathLike = Union[str, Path]
 
 
-def _jsonify(value):
+def jsonify(value):
+    """Numpy-safe JSON encoding of a result value.
+
+    Numpy scalars widen to Python numbers, arrays become tagged
+    ``{"__ndarray__": ..., "dtype": ...}`` dicts, tuples become lists.
+    This is the one encoding shared by saved result files, JSONL traces,
+    and the artifact store (:mod:`repro.runtime.artifacts`) — a value
+    that survives :func:`jsonify` → JSON → :func:`unjsonify` compares
+    byte-identical under :func:`canonical_payload`, which is the
+    resumable-sweep correctness contract. Raises
+    :class:`~repro.errors.ReproError` for unserializable types.
+    """
     if isinstance(value, (np.integer,)):
         return int(value)
     if isinstance(value, (np.floating,)):
@@ -36,22 +47,28 @@ def _jsonify(value):
     if isinstance(value, np.ndarray):
         return {"__ndarray__": value.tolist(), "dtype": str(value.dtype)}
     if isinstance(value, (list, tuple)):
-        return [_jsonify(v) for v in value]
+        return [jsonify(v) for v in value]
     if isinstance(value, Mapping):
-        return {str(k): _jsonify(v) for k, v in value.items()}
+        return {str(k): jsonify(v) for k, v in value.items()}
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     raise ReproError(f"cannot serialize value of type {type(value).__name__}")
 
 
-def _unjsonify(value):
+def unjsonify(value):
+    """Inverse of :func:`jsonify`: rebuild tagged ndarrays, recurse dicts."""
     if isinstance(value, dict):
         if "__ndarray__" in value:
             return np.asarray(value["__ndarray__"], dtype=value["dtype"])
-        return {k: _unjsonify(v) for k, v in value.items()}
+        return {k: unjsonify(v) for k, v in value.items()}
     if isinstance(value, list):
-        return [_unjsonify(v) for v in value]
+        return [unjsonify(v) for v in value]
     return value
+
+
+#: Backwards-compatible aliases (pre-PR 7 private names).
+_jsonify = jsonify
+_unjsonify = unjsonify
 
 
 def save_rows(rows: Sequence[Mapping], path: PathLike,

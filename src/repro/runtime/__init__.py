@@ -1,8 +1,22 @@
 """Execution-environment simulation: device memory, profiling, hardware,
 the instrumented sparse-compute cache layer, the basis-term propagation
-planner, and the process-pool grid executor for parallel benchmark
-sweeps."""
+planner, the process-pool grid executor for parallel benchmark sweeps,
+and the content-addressed cell artifact store that makes sweeps
+resumable."""
 
+from .artifacts import (
+    ARTIFACT_DIR_ENV,
+    ARTIFACT_SCHEMA,
+    DEFAULT_ARTIFACT_DIR,
+    ArtifactStore,
+    CellArtifact,
+    SweepArtifacts,
+    active_sweep,
+    cell_address,
+    default_artifact_dir,
+    default_code_rev,
+    sweep_scope,
+)
 from .cache import (
     MISSING,
     NORM_MEMO_ENTRIES,
@@ -10,6 +24,7 @@ from .cache import (
     LRUCache,
     caches_disabled,
     clear_transpose_cache,
+    data_token,
     is_enabled as cache_enabled,
     matrix_token,
     norm_memo,
@@ -60,6 +75,7 @@ __all__ = [
     "set_cache_enabled",
     "caches_disabled",
     "clear_transpose_cache",
+    "data_token",
     "matrix_token",
     "norm_memo",
     "transpose_build_count",
@@ -82,4 +98,16 @@ __all__ = [
     "execute_cells",
     "last_run_stats",
     "pool_stats",
+    # resumable-sweep artifact store
+    "ARTIFACT_DIR_ENV",
+    "ARTIFACT_SCHEMA",
+    "DEFAULT_ARTIFACT_DIR",
+    "ArtifactStore",
+    "CellArtifact",
+    "SweepArtifacts",
+    "active_sweep",
+    "cell_address",
+    "default_artifact_dir",
+    "default_code_rev",
+    "sweep_scope",
 ]

@@ -1,0 +1,447 @@
+"""repro.runtime.artifacts — content-addressed cell results for resumable sweeps.
+
+A killed 500-cell sweep used to restart from zero even though every cell
+is deterministic: seeds derive from grid coordinates
+(:func:`repro.runtime.pool.derive_cell_seed`) and runs are
+config-fingerprinted (:mod:`repro.telemetry.registry`). This module adds
+the missing piece — a small on-disk store keyed by a *content address*,
+so a rerun serves completed cells from disk and executes only the
+remainder.
+
+**Content address.** Each cell's address is a SHA-256 over everything
+that could change its result:
+
+- the run's *config fingerprint* (experiment, config, seed, datasets,
+  cache mode — :func:`repro.telemetry.registry.config_fingerprint`),
+- the cell's *grid coordinates* (its ``Cell.key``),
+- the cell's *derived seed(s)* (the ``seed``/``seeds`` kwargs),
+- the *code-relevant rev* (git SHA, falling back to the package
+  version — new code never trusts old bytes),
+- a fingerprint of the cell's full kwargs and function identity
+  (:func:`repro.runtime.cache.data_token`), which catches knobs like
+  ``scale_override`` that travel in kwargs rather than the run config.
+
+Any change to any component flips the address, which the staleness test
+suite (``tests/test_runtime_artifacts.py``) holds as an invariant.
+
+**Store layout and durability.** One JSON payload file plus one metadata
+sidecar per cell, both written atomically (temp file + ``os.replace``) in
+sidecar-first order so the payload is the commit point: a crash can leave
+a sidecar without a payload (a miss) but never a payload the reader
+would trust without its write having completed. Torn or truncated files
+read as misses, mirroring the run registry's crash discipline.
+
+**Correctness contract.** The store is a *cache of deterministic
+computations*: a hit substitutes bytes that a live execution would have
+produced. Cell values round-trip through the same numpy-safe JSON
+encoding as saved result files (:mod:`repro.bench.io`), so
+``canonical_payload`` of a resumed sweep is byte-identical to an
+uninterrupted one — CI-gated by ``bench-resume``. Each artifact also
+carries the cell's telemetry shard (span events + metrics state), so a
+cached cell folds into the parent run's registry record exactly like a
+live one. Failed cells (``failed:*`` rows) are never persisted.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Union
+
+from .. import telemetry
+from .cache import data_token
+
+PathLike = Union[str, Path]
+
+#: Artifact payload schema; bumped on any incompatible layout change so a
+#: new reader never misinterprets old bytes (a mismatch reads as a miss).
+ARTIFACT_SCHEMA = "repro.runtime.artifacts/v1"
+
+#: Environment variable overriding the default artifact-store directory.
+ARTIFACT_DIR_ENV = "REPRO_ARTIFACT_DIR"
+
+#: Default store location, resolved relative to the working directory
+#: (the repo root in every documented workflow).
+DEFAULT_ARTIFACT_DIR = Path("benchmarks") / "results" / "artifacts"
+
+#: Payload / sidecar suffixes inside the store directory.
+PAYLOAD_SUFFIX = ".json"
+META_SUFFIX = ".meta.json"
+
+
+def default_artifact_dir(override: Optional[PathLike] = None) -> Path:
+    """Resolve the store directory: explicit > env var > repo default."""
+    if override is not None:
+        return Path(override)
+    env = os.environ.get(ARTIFACT_DIR_ENV)
+    if env:
+        return Path(env)
+    return DEFAULT_ARTIFACT_DIR
+
+
+def default_code_rev() -> str:
+    """The code-relevant revision baked into every content address.
+
+    The current git SHA when available — any commit invalidates the
+    store, the conservative end of the staleness trade-off — falling back
+    to the package version outside a checkout.
+    """
+    from .. import __version__
+    from ..telemetry.manifest import git_sha
+
+    sha = git_sha(Path(__file__).resolve().parent)
+    return sha if sha else f"repro-{__version__}"
+
+
+def cell_address(config_fingerprint: str, coordinates: Sequence,
+                 seed: Any, code_rev: str,
+                 cell_token: Optional[str] = None) -> str:
+    """SHA-256 content address of one grid cell's result (64 hex chars).
+
+    A pure function of (config fingerprint, grid coordinates, derived
+    cell seed, code rev, optional cell-kwargs token): flip any component
+    and the address — hence the store key — changes.
+    """
+    payload = json.dumps(
+        {
+            "config": str(config_fingerprint),
+            "coords": [str(part) for part in coordinates],
+            "seed": data_token(seed),
+            "rev": str(code_rev),
+            "cell": cell_token,
+        },
+        sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CellArtifact:
+    """One persisted cell result, decoded: value + telemetry shard."""
+
+    address: str
+    value: Any
+    events: List[Dict] = field(default_factory=list)
+    metrics_state: Optional[Dict] = None
+    meta: Dict = field(default_factory=dict)
+
+
+class ArtifactStore:
+    """On-disk, content-addressed store of completed sweep cells.
+
+    Parameters
+    ----------
+    root:
+        Store directory (created on first put). ``None`` resolves through
+        :func:`default_artifact_dir`.
+    max_cells:
+        Optional bound on stored cells; a put past it evicts the oldest
+        payloads (by modification time) until the bound holds. ``None``
+        (default) keeps everything.
+
+    Traffic is tallied locally (``hits``/``misses``/``stores``/
+    ``evictions``/``torn``) and mirrored to telemetry counters
+    (``artifacts.{hit,miss,store,evict}``) so registry records and traces
+    show what the store did.
+    """
+
+    def __init__(self, root: Optional[PathLike] = None,
+                 max_cells: Optional[int] = None):
+        self.root = default_artifact_dir(root)
+        if max_cells is not None and max_cells < 1:
+            raise ValueError(f"max_cells must be >= 1, got {max_cells}")
+        self.max_cells = max_cells
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.torn = 0
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+    def payload_path(self, address: str) -> Path:
+        return self.root / f"{address}{PAYLOAD_SUFFIX}"
+
+    def meta_path(self, address: str) -> Path:
+        return self.root / f"{address}{META_SUFFIX}"
+
+    def addresses(self) -> List[str]:
+        """Sorted addresses of every committed (payload-present) cell."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            path.name[:-len(PAYLOAD_SUFFIX)]
+            for path in self.root.glob(f"*{PAYLOAD_SUFFIX}")
+            if not path.name.endswith(META_SUFFIX))
+
+    def __len__(self) -> int:
+        return len(self.addresses())
+
+    def __contains__(self, address: str) -> bool:
+        return self.payload_path(address).is_file()
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def get(self, address: str) -> Optional[CellArtifact]:
+        """Decode one artifact, or ``None`` on any miss.
+
+        A miss is: no payload file, a torn/truncated payload (crashed
+        writer — counted on :attr:`torn` and the broken file dropped so
+        the rerun overwrites it cleanly), or a schema/address mismatch.
+        """
+        path = self.payload_path(address)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            self._count_miss()
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            self.torn += 1
+            self._discard_files(address)
+            self._count_miss()
+            return None
+        if (not isinstance(payload, dict)
+                or payload.get("schema") != ARTIFACT_SCHEMA
+                or payload.get("address") != address):
+            self._discard_files(address)
+            self._count_miss()
+            return None
+        from ..bench.io import unjsonify  # lazy: bench imports runtime
+
+        meta = {}
+        try:
+            meta = json.loads(self.meta_path(address).read_text(
+                encoding="utf-8"))
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            pass  # sidecar is informational; the payload is authoritative
+        self.hits += 1
+        telemetry.inc_counter("artifacts.hit")
+        return CellArtifact(
+            address=address,
+            value=unjsonify(payload.get("value")),
+            events=[dict(event) for event in payload.get("events") or ()],
+            metrics_state=payload.get("metrics"),
+            meta=meta,
+        )
+
+    def _count_miss(self) -> None:
+        self.misses += 1
+        telemetry.inc_counter("artifacts.miss")
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def put(self, address: str, value: Any,
+            events: Optional[Sequence[Dict]] = None,
+            metrics_state: Optional[Dict] = None,
+            meta: Optional[Dict] = None) -> Path:
+        """Persist one cell atomically; returns the payload path.
+
+        Sidecar first, payload last: the payload rename is the commit
+        point, so a reader never sees a half-written artifact — a crash
+        between the two writes leaves an orphan sidecar that reads as a
+        plain miss.
+        """
+        from ..bench.io import jsonify  # lazy: bench imports runtime
+
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": ARTIFACT_SCHEMA,
+            "address": address,
+            "value": jsonify(value),
+            "events": jsonify(list(events or ())),
+            "metrics": jsonify(metrics_state) if metrics_state else None,
+        }
+        self._atomic_write(self.meta_path(address),
+                           dict(meta or {}, schema=ARTIFACT_SCHEMA,
+                                address=address))
+        path = self._atomic_write(self.payload_path(address), payload)
+        self.stores += 1
+        telemetry.inc_counter("artifacts.store")
+        if self.max_cells is not None:
+            self._evict_over_bound(keep=address)
+        return path
+
+    def _atomic_write(self, path: Path, payload: Dict) -> Path:
+        # Temp name must not match *PAYLOAD_SUFFIX so a crash mid-write
+        # never leaves a file that addresses()/get() would consider.
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        # Insertion order, not sort_keys: a cached row must decode with
+        # the same key order a live execution produced, so downstream
+        # tables and saved result files match a never-cached run exactly.
+        tmp.write_text(json.dumps(payload, separators=(",", ":")),
+                       encoding="utf-8")
+        os.replace(tmp, path)
+        return path
+
+    def _discard_files(self, address: str) -> None:
+        for path in (self.payload_path(address), self.meta_path(address)):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def discard(self, address: str) -> None:
+        """Drop one cell (payload + sidecar) if present."""
+        self._discard_files(address)
+
+    def _evict_over_bound(self, keep: Optional[str] = None) -> None:
+        addresses = self.addresses()
+        if len(addresses) <= self.max_cells:
+            return
+        by_age = sorted(
+            addresses,
+            key=lambda addr: (self.payload_path(addr).stat().st_mtime, addr))
+        for address in by_age:
+            if len(self.addresses()) <= self.max_cells:
+                break
+            if address == keep:
+                continue
+            self._discard_files(address)
+            self.evictions += 1
+            telemetry.inc_counter("artifacts.evict")
+
+    def purge(self) -> int:
+        """Drop every stored cell (``--fresh``); returns the count dropped.
+
+        Stray temp files from crashed writers are swept too; the local
+        traffic tallies are left intact so a fresh-then-populate run still
+        reports what it stored.
+        """
+        dropped = 0
+        for address in self.addresses():
+            self._discard_files(address)
+            dropped += 1
+        if self.root.is_dir():
+            for tmp in self.root.glob("*.tmp.*"):
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
+            # Orphan sidecars (crash between sidecar and payload writes).
+            for sidecar in self.root.glob(f"*{META_SUFFIX}"):
+                try:
+                    sidecar.unlink()
+                except OSError:
+                    pass
+        return dropped
+
+    def stats(self) -> Dict[str, int]:
+        """Local traffic/occupancy summary (registry ``artifacts`` block)."""
+        return {
+            "cells": len(self),
+            "hit": self.hits,
+            "miss": self.misses,
+            "stored": self.stores,
+            "evicted": self.evictions,
+            "torn": self.torn,
+        }
+
+
+@dataclass
+class SweepArtifacts:
+    """One sweep's view of the store: addressing + load/save of cells.
+
+    Parameters
+    ----------
+    store:
+        The underlying :class:`ArtifactStore`.
+    config_fingerprint:
+        The run's config fingerprint
+        (:func:`repro.telemetry.registry.config_fingerprint`), computed
+        *before* the sweep from the same manifest fields the registry
+        hashes after it.
+    code_rev:
+        Code-relevant revision; defaults to :func:`default_code_rev`.
+    consult:
+        When ``False`` (``--fresh``), every cell executes live — loads
+        are counted as misses without touching disk — while successful
+        results still persist, repopulating the store.
+    """
+
+    store: ArtifactStore
+    config_fingerprint: str
+    code_rev: str = field(default_factory=default_code_rev)
+    consult: bool = True
+
+    def address_for(self, cell) -> str:
+        """Content address of one :class:`repro.runtime.pool.Cell`."""
+        kwargs = dict(cell.kwargs)
+        seed = kwargs.get("seed", kwargs.get("seeds"))
+        fn = cell.fn
+        cell_token = data_token({
+            "fn": f"{getattr(fn, '__module__', '?')}."
+                  f"{getattr(fn, '__qualname__', repr(fn))}",
+            "kwargs": kwargs,
+        })
+        return cell_address(self.config_fingerprint, cell.key, seed,
+                            self.code_rev, cell_token)
+
+    def load(self, cell) -> Optional[CellArtifact]:
+        """The cell's persisted artifact, or ``None`` when it must run."""
+        if not self.consult:
+            self.store._count_miss()
+            return None
+        return self.store.get(self.address_for(cell))
+
+    def save(self, cell, value: Any,
+             events: Optional[Sequence[Dict]] = None,
+             metrics_state: Optional[Dict] = None) -> Optional[Path]:
+        """Persist one *successful* cell; unserializable values are skipped.
+
+        Returns the payload path, or ``None`` when the value cannot take
+        the JSON round trip (the sweep still completes — such a cell just
+        re-executes on resume).
+        """
+        from ..errors import ReproError
+
+        address = self.address_for(cell)
+        meta = {
+            "config_fingerprint": self.config_fingerprint,
+            "coordinates": [str(part) for part in cell.key],
+            "code_rev": self.code_rev,
+            "cell": cell.label,
+        }
+        try:
+            return self.store.put(address, value, events=events,
+                                  metrics_state=metrics_state, meta=meta)
+        except ReproError:
+            telemetry.inc_counter("artifacts.unstorable")
+            return None
+
+    def stats(self) -> Dict[str, int]:
+        return self.store.stats()
+
+
+# ----------------------------------------------------------------------
+# scope: how the pool executor finds the active sweep's store
+# ----------------------------------------------------------------------
+_active_sweep: Optional[SweepArtifacts] = None
+
+
+def active_sweep() -> Optional[SweepArtifacts]:
+    """The installed :class:`SweepArtifacts`, or ``None`` (store off)."""
+    return _active_sweep
+
+
+@contextmanager
+def sweep_scope(sweep: Optional[SweepArtifacts]) -> Iterator[
+        Optional[SweepArtifacts]]:
+    """Install ``sweep`` for the duration of the body (None = disable).
+
+    :func:`repro.runtime.pool.execute_cells` consults the active sweep on
+    entry — hits are served as completed results, misses execute and
+    persist. Scopes nest; the previous sweep is restored on exit.
+    """
+    global _active_sweep
+    previous = _active_sweep
+    _active_sweep = sweep
+    try:
+        yield sweep
+    finally:
+        _active_sweep = previous

@@ -204,6 +204,28 @@ class LRUCache:
 MISSING = _MISSING
 
 
+def data_token(value: Any) -> str:
+    """Stable content fingerprint of plain config-like data (16 hex chars).
+
+    The third token family next to :func:`matrix_token` (sparse payloads)
+    and :func:`repro.runtime.plan.array_token` (dense signals): dicts,
+    dataclasses (e.g. :class:`~repro.training.loop.TrainConfig`), tuples,
+    numpy scalars, and ``None`` all reduce through the manifest's
+    JSON-stable ``_plain`` normalization before hashing, so logically
+    equal configurations fingerprint identically across processes and
+    runs. The artifact store (:mod:`repro.runtime.artifacts`) keys cell
+    content addresses on it.
+    """
+    import hashlib
+    import json
+
+    from ..telemetry.manifest import _plain
+
+    payload = json.dumps(_plain(value), sort_keys=True,
+                         separators=(",", ":"), default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
 def matrix_token(matrix: sp.spmatrix) -> Tuple:
     """Cheap mutation fingerprint of a sparse matrix's payload.
 

@@ -35,6 +35,16 @@ between execution modes.
 With ``workers=1`` (the default) no subprocess machinery is involved at
 all: cells run inline, in order, in the calling process — the exact
 serial path, where a raising cell propagates like any other exception.
+
+Resumable sweeps: when a :class:`repro.runtime.artifacts.SweepArtifacts`
+scope is active (``--resume``/``--fresh`` on the bench CLI), the executor
+consults the content-addressed store *before* launching anything. Hits
+come back as :data:`CACHED` results — value and persisted telemetry
+shard decoded from disk, folded into grid-order reassembly exactly like
+a live cell's — and only misses execute; their successful results (never
+``failed:*`` ones) persist on completion. Because cells are
+deterministic, a cache-served sweep's canonical payload is byte-identical
+to an uninterrupted one, which the ``bench-resume`` CI job enforces.
 """
 
 from __future__ import annotations
@@ -48,6 +58,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 #: Terminal cell statuses.
 OK = "ok"
+CACHED = "cached"      # served from the artifact store; nothing executed
 ERROR = "error"        # the cell function raised inside the worker
 CRASHED = "crashed"    # the worker died without reporting (segfault, _exit)
 TIMEOUT = "timeout"    # the attempt exceeded ``cell_timeout`` seconds
@@ -126,7 +137,11 @@ class PoolConfig:
 
 @dataclass
 class CellResult:
-    """Outcome of one cell, in terminal state (succeeded or retries spent)."""
+    """Outcome of one cell, in terminal state (succeeded or retries spent).
+
+    A :data:`CACHED` result carries the persisted value and telemetry
+    shard from the artifact store with ``attempts=0`` — nothing executed.
+    """
 
     key: Tuple
     status: str
@@ -140,7 +155,8 @@ class CellResult:
 
     @property
     def ok(self) -> bool:
-        return self.status == OK
+        """Whether the cell has a usable value (ran live or cache-served)."""
+        return self.status in (OK, CACHED)
 
     @property
     def label(self) -> str:
@@ -159,13 +175,17 @@ def pool_stats(results: Sequence[CellResult],
     cells (label, status, attempts, seconds; slowest first, grid order on
     ties) — the cells that bound the sweep's wall clock and the first
     place to look when a parallel run stops scaling.
+
+    ``ok`` counts live executions only; cells served from the artifact
+    store count under ``cached`` (``ok + cached + failed == cells``).
     """
     stats: Dict[str, Any] = {
         "cells": len(results),
-        "ok": sum(1 for r in results if r.ok),
+        "ok": sum(1 for r in results if r.status == OK),
+        "cached": sum(1 for r in results if r.status == CACHED),
         "failed": sum(1 for r in results if not r.ok),
         "attempts": sum(r.attempts for r in results),
-        "retries": sum(r.attempts - 1 for r in results),
+        "retries": sum(max(0, r.attempts - 1) for r in results),
         "timeouts": sum(1 for r in results if r.status == TIMEOUT),
     }
     slowest = sorted(results, key=lambda r: r.seconds, reverse=True)
@@ -295,26 +315,77 @@ def execute_cells(cells: Sequence[Cell],
     (``live.monitoring(...)`` around the sweep), the executor streams
     live heartbeat/RSS/stall events through it — observability only,
     never part of the results or the canonical payload.
+
+    When a :class:`~repro.runtime.artifacts.SweepArtifacts` scope is
+    active, every cell's content address is consulted first: hits become
+    :data:`CACHED` results (persisted value + telemetry shard, folded in
+    grid order like any live cell's), and only misses execute — their
+    successful results persisting back to the store.
     """
     from ..telemetry import live
+    from . import artifacts as artifact_mod
 
     config = config or PoolConfig()
     cells = list(cells)
+    sweep = artifact_mod.active_sweep()
     monitor = live.current_monitor()
     if monitor is not None:
         monitor.sweep_started(len(cells), config.workers,
                               config.cell_timeout)
+    cached: Dict[int, CellResult] = {}
+    if sweep is not None:
+        for index, cell in enumerate(cells):
+            artifact = sweep.load(cell)
+            if artifact is not None:
+                cached[index] = CellResult(
+                    key=cell.key, status=CACHED, value=artifact.value,
+                    attempts=0, seconds=0.0,
+                    events=list(artifact.events),
+                    metrics_state=artifact.metrics_state)
     if config.workers <= 1:
-        results = [_run_inline(cell, monitor) for cell in cells]
+        results = _run_inline_all(cells, cached, sweep, monitor)
     else:
-        results = _run_pooled(cells, config, monitor)
+        results = _run_pooled(cells, config, monitor,
+                              cached=cached, sweep=sweep)
     _record_run_stats(results)
     if monitor is not None:
         monitor.sweep_finished(pool_stats(results))
     return results
 
 
-def _run_inline(cell: Cell, monitor=None) -> CellResult:
+def _serve_cached(result: CellResult, monitor=None) -> CellResult:
+    """Account one store-served cell (counter, monitor event)."""
+    from .. import telemetry
+
+    telemetry.inc_counter("pool.cells.cached")
+    if monitor is not None:
+        monitor.cell_finished(result.label, 0, CACHED, 0.0)
+    return result
+
+
+def _run_inline_all(cells: Sequence[Cell], cached: Dict[int, CellResult],
+                    sweep, monitor=None) -> List[CellResult]:
+    """Inline (workers=1) sweep: cached cells fold, misses run serially.
+
+    Folding happens in cell-list order here too — a cached cell's
+    persisted shard and a live cell's captured shard interleave exactly
+    as the grid reads.
+    """
+    from .. import telemetry
+
+    results: List[CellResult] = []
+    for index, cell in enumerate(cells):
+        result = cached.get(index)
+        if result is not None:
+            telemetry.fold_shard(result.events, result.metrics_state,
+                                 label=result.label)
+            results.append(_serve_cached(result, monitor))
+            continue
+        results.append(_run_inline(cell, monitor, sweep=sweep))
+    return results
+
+
+def _run_inline(cell: Cell, monitor=None, sweep=None) -> CellResult:
     from .. import telemetry
     from ..telemetry import live
 
@@ -323,10 +394,15 @@ def _run_inline(cell: Cell, monitor=None) -> CellResult:
                     if monitor is not None else 0.2)
     if monitor is not None:
         monitor.attempt_launched(cell.label, 1)
+    # Capture this cell's spans/metrics in an isolated shard (mirroring
+    # a worker's from-scratch tracer) so the artifact store can persist
+    # it and fold-in is identical whether the cell ran live or cached.
+    shard: Dict[str, Any] = {}
     started = time.perf_counter()
     try:
         with live.worker_session(send, cell.label, 1,
                                  rss_interval_s=rss_interval), \
+                telemetry.shard_capture(shard), \
                 telemetry.span("cell", cell=cell.label):
             value = cell.fn(**cell.kwargs)
     except BaseException:
@@ -335,15 +411,22 @@ def _run_inline(cell: Cell, monitor=None) -> CellResult:
                                   time.perf_counter() - started)
         raise
     seconds = time.perf_counter() - started
+    events = list(shard.get("events") or ())
+    metrics_state = shard.get("metrics")
+    telemetry.fold_shard(events, metrics_state, label=cell.label)
     if monitor is not None:
         monitor.cell_finished(cell.label, 1, OK, seconds)
     telemetry.inc_counter("pool.cells.ok")
+    if sweep is not None:
+        sweep.save(cell, value, events, metrics_state)
     return CellResult(key=cell.key, status=OK, value=value, attempts=1,
-                      seconds=seconds)
+                      seconds=seconds, events=events,
+                      metrics_state=metrics_state)
 
 
 def _run_pooled(cells: List[Cell], config: PoolConfig,
-                monitor=None) -> List[CellResult]:
+                monitor=None, cached: Optional[Dict[int, CellResult]] = None,
+                sweep=None) -> List[CellResult]:
     import multiprocessing as mp
 
     from .. import telemetry
@@ -351,8 +434,12 @@ def _run_pooled(cells: List[Cell], config: PoolConfig,
 
     ctx = mp.get_context(config.start_method or _default_start_method())
     telemetry_on = telemetry.enabled()
+    cached = cached or {}
     results: List[Optional[CellResult]] = [None] * len(cells)
-    pending = deque((index, 1) for index in range(len(cells)))
+    for index, result in cached.items():
+        results[index] = _serve_cached(result, monitor)
+    pending = deque((index, 1) for index in range(len(cells))
+                    if index not in cached)
     active: Dict[int, _Attempt] = {}
 
     def drain_live(attempt: _Attempt) -> None:
@@ -456,6 +543,10 @@ def _run_pooled(cells: List[Cell], config: PoolConfig,
                         events=list(payload.get("events") or ()),
                         metrics_state=payload.get("metrics"))
                     telemetry.inc_counter("pool.cells.ok")
+                    if sweep is not None:
+                        sweep.save(cells[index], results[index].value,
+                                   results[index].events,
+                                   results[index].metrics_state)
                     retire(index, attempt)
                     if monitor is not None:
                         monitor.cell_finished(cells[index].label,

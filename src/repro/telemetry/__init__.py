@@ -239,6 +239,50 @@ def fold_shard(events: Optional[List[Dict]] = None,
         _tracer.sink.emit(event)
 
 
+from contextlib import contextmanager
+
+
+@contextmanager
+def shard_capture(shard: Dict):
+    """Run the body under a fresh, isolated tracer; capture its shard.
+
+    The inline-mode counterpart of a pool worker's from-scratch telemetry
+    (:func:`repro.runtime.pool._cell_entry`): the body's spans and
+    metrics land in a temporary tracer instead of the parent's, and on
+    exit ``shard`` is populated with ``events`` (the captured span
+    events) and ``metrics`` (a :meth:`MetricsRegistry.to_state` dict) —
+    exactly what :func:`fold_shard` accepts and what the artifact store
+    (:mod:`repro.runtime.artifacts`) persists next to a cell's value, so
+    a cell's shard has one shape whether it ran in a worker process or
+    inline. The parent tracer (and the engine op hooks bound to it) is
+    restored afterwards even if the body raises; while telemetry is
+    disabled the body runs unchanged and ``shard`` stays empty.
+    """
+    global _tracer, _memory
+    with _config_lock:
+        parent, parent_memory = _tracer, _memory
+        if parent is not None:
+            uninstall_op_hooks()
+            _memory = MemorySink()
+            _tracer = Tracer(sink=_memory)
+            install_op_hooks(_tracer)
+    if parent is None:
+        yield shard
+        return
+    try:
+        yield shard
+    finally:
+        with _config_lock:
+            child, child_memory = _tracer, _memory
+            if child is not None:
+                uninstall_op_hooks()
+                shard["metrics"] = child.metrics.to_state()
+                child.close()
+                shard["events"] = child_memory.events if child_memory else []
+            _tracer, _memory = parent, parent_memory
+            install_op_hooks(parent)
+
+
 def set_gauge(name: str, value: float) -> None:
     """Set a gauge on the active registry (no-op while disabled)."""
     if _tracer is not None:
@@ -268,6 +312,7 @@ __all__ = [
     "span",
     "emit_event",
     "fold_shard",
+    "shard_capture",
     "set_gauge",
     "inc_counter",
     "observe",

@@ -297,6 +297,7 @@ class SweepMonitor:
         self.workers = 1
         self.cell_timeout: Optional[float] = None
         self.ok = 0
+        self.cached = 0
         self.failed = 0
         self.retried = 0
         self.heartbeats: Dict[str, int] = {}
@@ -375,6 +376,8 @@ class SweepMonitor:
             entry = self._active.pop((cell, int(attempt)), None)
             if status == "ok":
                 self.ok += 1
+            elif status == "cached":
+                self.cached += 1
             elif status == RETRYING:
                 self.retried += 1
             else:
@@ -428,8 +431,9 @@ class SweepMonitor:
         with self._lock:
             return {
                 "cells": self.total_cells,
-                "done": self.ok + self.failed,
+                "done": self.ok + self.cached + self.failed,
                 "ok": self.ok,
+                "cached": self.cached,
                 "failed": self.failed,
                 "retried": self.retried,
                 "running": len(self._active),
@@ -478,9 +482,11 @@ class SweepMonitor:
         """The one-line live status (also what ``--watch`` prints)."""
         with self._lock:
             now = self._clock() if now is None else now
-            done = self.ok + self.failed
+            done = self.ok + self.cached + self.failed
             parts = [f"[sweep {done}/{self.total_cells}]",
                      f"ok:{self.ok}", f"fail:{self.failed}"]
+            if self.cached:
+                parts.append(f"cached:{self.cached}")
             if self.retried:
                 parts.append(f"retry:{self.retried}")
             if self.stalls:

@@ -42,9 +42,12 @@ PathLike = Union[str, Path]
 #: Record schema. v2 (PR 4) added the ``workers`` count and the ``pool``
 #: execution-policy block for parallel sweeps; v3 (PR 6) added the
 #: ``live_path``/``chrome_trace_path`` pointers to a run's live-telemetry
-#: artifacts. Older lines (no such keys) still load —
-#: :meth:`RunRecord.from_dict` fills the serial/None defaults.
-REGISTRY_SCHEMA = "repro.telemetry.registry/v3"
+#: artifacts; v4 (PR 7) added the ``artifacts`` block — resume mode and
+#: artifact-store hit/miss/store accounting, deliberately outside the
+#: config fingerprint (serving cells from the store must not change
+#: *what* was measured). Older lines (no such keys) still load —
+#: :meth:`RunRecord.from_dict` fills the serial/None/empty defaults.
+REGISTRY_SCHEMA = "repro.telemetry.registry/v4"
 
 #: File name of the append-only index inside the registry directory.
 REGISTRY_FILENAME = "runs.jsonl"
@@ -126,6 +129,13 @@ class RunRecord:
     #: exported from it post-run.
     live_path: Optional[str] = None
     chrome_trace_path: Optional[str] = None
+    #: Resumable-sweep accounting (schema v4; empty for runs without the
+    #: artifact store and pre-v4 records): the resume mode
+    #: (``resume``/``fresh``), the store directory, and the store's
+    #: :meth:`~repro.runtime.artifacts.ArtifactStore.stats` traffic
+    #: (hit/miss/stored/...). Outside the config fingerprint by design —
+    #: a resumed run and a fresh run of one config share a fingerprint.
+    artifacts: Dict = field(default_factory=dict)
 
     def to_dict(self) -> Dict:
         return dataclasses.asdict(self)
@@ -148,6 +158,7 @@ def build_record(
     pool: Optional[Mapping] = None,
     live_path: Optional[PathLike] = None,
     chrome_trace_path: Optional[PathLike] = None,
+    artifacts: Optional[Mapping] = None,
 ) -> RunRecord:
     """Assemble a :class:`RunRecord` from a manifest plus run snapshots.
 
@@ -158,6 +169,8 @@ def build_record(
     width and its execution policy / retry accounting.
     ``live_path``/``chrome_trace_path`` point at the live event stream
     and the exported Chrome trace of a monitored sweep (schema v3).
+    ``artifacts`` is the resumable-sweep block (schema v4): resume mode,
+    store directory, and artifact-store traffic.
     """
     timestamp = time.time() if timestamp is None else float(timestamp)
     fingerprint = config_fingerprint(manifest)
@@ -183,6 +196,7 @@ def build_record(
         live_path=str(live_path) if live_path is not None else None,
         chrome_trace_path=(str(chrome_trace_path)
                            if chrome_trace_path is not None else None),
+        artifacts=dict(artifacts or {}),
     )
 
 
@@ -361,6 +375,7 @@ def record_run(
     pool: Optional[Mapping] = None,
     live_path: Optional[PathLike] = None,
     chrome_trace_path: Optional[PathLike] = None,
+    artifacts: Optional[Mapping] = None,
 ) -> RunRecord:
     """One-call indexing: fold a finished run's artifacts into the registry.
 
@@ -386,6 +401,7 @@ def record_run(
         pool=pool,
         live_path=live_path,
         chrome_trace_path=chrome_trace_path,
+        artifacts=artifacts,
     )
     RunRegistry(registry_dir).append(record)
     return record

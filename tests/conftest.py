@@ -7,6 +7,7 @@ import pytest
 
 from repro.datasets import synthesize
 from repro.graph import Graph
+from repro.runtime.artifacts import ARTIFACT_DIR_ENV
 from repro.telemetry.registry import REGISTRY_DIR_ENV
 
 
@@ -19,6 +20,18 @@ def _isolated_run_registry(tmp_path_factory, monkeypatch):
     """
     monkeypatch.setenv(REGISTRY_DIR_ENV,
                        str(tmp_path_factory.getbasetemp() / "run-registry"))
+
+
+@pytest.fixture(autouse=True)
+def _isolated_artifact_store(tmp_path, monkeypatch):
+    """Point the cell artifact store at a per-*test* tmp dir.
+
+    Per-test (not per-session): a stale artifact from one test served as
+    a hit in another would make resume tests order-dependent. Tests that
+    need a shared store across multiple CLI invocations pass an explicit
+    ``--artifact-dir`` instead.
+    """
+    monkeypatch.setenv(ARTIFACT_DIR_ENV, str(tmp_path / "artifact-store"))
 
 
 @pytest.fixture

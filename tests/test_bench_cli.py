@@ -250,3 +250,91 @@ class TestRegistryCliErrors:
             main(["compare", "a.json", "b.json", "--registry", "abc"])
         with pytest.raises(SystemExit):
             main(["compare", "only-one.json"])
+
+
+class TestResumeCli:
+    EFFICIENCY = ["efficiency", "--datasets", "cora", "--filters", "ppr",
+                  "--schemes", "full_batch", "--epochs", "2",
+                  "--scale", "0.05"]
+
+    def test_parser_accepts_resume_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["efficiency", "--resume",
+                                  "--artifact-dir", "store"])
+        assert args.resume and not args.fresh
+        assert args.artifact_dir == "store"
+        args = parser.parse_args(["efficiency", "--fresh"])
+        assert args.fresh and not args.resume
+
+    def test_resume_and_fresh_are_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["efficiency", "--resume", "--fresh"])
+
+    def test_artifact_dir_requires_a_mode_flag(self):
+        with pytest.raises(SystemExit):
+            main(["efficiency", "--artifact-dir", "store"])
+
+    def test_resume_rejected_without_telemetry(self):
+        with pytest.raises(SystemExit):
+            main(["efficiency", "--resume", "--no-telemetry"])
+        with pytest.raises(SystemExit):
+            main(["efficiency", "--fresh", "--no-telemetry"])
+
+    def test_resume_rejected_outside_grid_sweeps(self):
+        with pytest.raises(SystemExit):
+            main(["taxonomy", "--resume"])
+        with pytest.raises(SystemExit):
+            main(["regression", "--fresh"])
+
+    def test_fresh_then_resume_byte_identical_and_recorded(self, tmp_path,
+                                                           capsys):
+        from repro.bench.io import canonical_payload, load_rows
+        from repro.telemetry.registry import RunRegistry
+
+        store_dir = tmp_path / "store"
+        base = self.EFFICIENCY + ["--artifact-dir", str(store_dir),
+                                  "--registry-dir", str(tmp_path / "reg")]
+
+        out1 = tmp_path / "fresh.json"
+        assert main(base + ["--fresh", "--output", str(out1)]) == 0
+        fresh_out = capsys.readouterr().out
+        assert "mode=fresh" in fresh_out
+        assert "hit=0 miss=1 stored=1" in fresh_out
+
+        out2 = tmp_path / "resume.json"
+        assert main(base + ["--resume", "--output", str(out2)]) == 0
+        resume_out = capsys.readouterr().out
+        assert "mode=resume" in resume_out
+        assert "hit=1 miss=0 stored=0" in resume_out
+
+        assert canonical_payload(load_rows(out1)) \
+            == canonical_payload(load_rows(out2))
+
+        fresh_rec, resume_rec = RunRegistry(tmp_path / "reg").load()
+        assert fresh_rec.config_fingerprint == resume_rec.config_fingerprint, \
+            "resume mode must stay outside the config fingerprint"
+        assert fresh_rec.schema.endswith("/v4")
+        assert fresh_rec.artifacts["mode"] == "fresh"
+        assert fresh_rec.artifacts["stored"] == 1
+        assert resume_rec.artifacts["mode"] == "resume"
+        assert resume_rec.artifacts["hit"] == 1
+        assert resume_rec.artifacts["dir"] == str(store_dir)
+        stats = resume_rec.pool["stats"]
+        assert stats["cached"] == 1 and stats["ok"] == 0
+        assert stats["cached"] + stats["ok"] == stats["cells"]
+
+    def test_fresh_purges_a_stale_store(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        base = self.EFFICIENCY + ["--artifact-dir", str(store_dir),
+                                  "--no-registry"]
+        assert main(base + ["--fresh"]) == 0
+        capsys.readouterr()
+        assert main(base + ["--fresh"]) == 0
+        captured = capsys.readouterr()
+        assert "purged 1 stored cell(s)" in captured.err
+        assert "hit=0 miss=1 stored=1" in captured.out
+
+    def test_runs_without_flags_do_not_touch_the_store(self, tmp_path):
+        store_dir = tmp_path / "store"
+        assert main(self.EFFICIENCY + ["--no-registry"]) == 0
+        assert not store_dir.exists()

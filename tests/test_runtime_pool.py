@@ -17,6 +17,7 @@ import pytest
 
 from repro import telemetry
 from repro.runtime.pool import (
+    CACHED,
     CRASHED,
     ERROR,
     OK,
@@ -163,7 +164,7 @@ class TestPooled:
 
         stats = pool_stats(results)
         stragglers = stats.pop("stragglers")
-        assert stats == {"cells": 3, "ok": 2, "failed": 1,
+        assert stats == {"cells": 3, "ok": 2, "cached": 0, "failed": 1,
                          "attempts": 5, "retries": 2, "timeouts": 0}
         assert len(stragglers) == 3
 
@@ -313,3 +314,258 @@ class TestTelemetryFold:
         assert counters.get("pool.cells.ok") == 1
         assert counters.get("pool.cells.retried") == 1
         assert "pool.cells.failed" not in counters
+
+
+# ---------------------------------------------------------------------------
+# artifact-store integration: cached cells, fold parity, kill-and-resume
+# ---------------------------------------------------------------------------
+
+def _flaky_ops_cell(marker, amount):
+    # Counts *before* possibly failing: the first attempt's counter must
+    # be discarded by retry handling and never reach the store.
+    telemetry.inc_counter("ops.matmul.calls", amount)
+    path = Path(marker)
+    if not path.exists():
+        path.write_text("seen")
+        raise RuntimeError("transient failure")
+    return amount
+
+
+def _make_sweep(tmp_path, fingerprint="fp-test", rev="rev1", consult=True):
+    from repro.runtime.artifacts import ArtifactStore, SweepArtifacts
+
+    store = ArtifactStore(tmp_path / "store")
+    return SweepArtifacts(store=store, config_fingerprint=fingerprint,
+                          code_rev=rev, consult=consult)
+
+
+class TestCachedCells:
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_second_run_serves_every_cell_from_store(self, tmp_path,
+                                                     workers):
+        from repro.runtime.artifacts import sweep_scope
+
+        sweep = _make_sweep(tmp_path)
+        cells = make_cells(3)
+        config = PoolConfig(workers=workers)
+        with sweep_scope(sweep):
+            first = execute_cells(cells, config)
+        with sweep_scope(_make_sweep(tmp_path)):
+            second = execute_cells(cells, config)
+
+        assert all(r.status == OK for r in first)
+        assert all(r.status == CACHED and r.attempts == 0 for r in second)
+        assert [r.value for r in second] == [r.value for r in first]
+        stats = pool_stats(second)
+        assert (stats["ok"], stats["cached"], stats["failed"]) == (0, 3, 0)
+        assert stats["ok"] + stats["cached"] + stats["failed"] \
+            == stats["cells"]
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_cached_shards_fold_identically_to_live(self, tmp_path, workers):
+        """PR 4 fold parity extended to store-served cells: merged op
+        counters/histograms must not depend on whether a cell executed
+        or was decoded from disk."""
+        from repro.runtime.artifacts import sweep_scope
+
+        cells = [Cell(key=("cell", i), fn=_ops_cell,
+                      kwargs={"amount": i + 1}) for i in range(3)]
+        config = PoolConfig(workers=workers)
+
+        def run(sweep):
+            telemetry.configure()
+            try:
+                with sweep_scope(sweep), telemetry.span("experiment"):
+                    execute_cells(cells, config)
+                state = telemetry.get_metrics().to_state()
+            finally:
+                events = telemetry.shutdown()
+            return state, events
+
+        live_state, live_events = run(_make_sweep(tmp_path))
+        cached_state, cached_events = run(_make_sweep(tmp_path))
+
+        assert cached_state["counters"].get("pool.cells.cached") == 3
+        assert "pool.cells.ok" not in cached_state["counters"]
+        for name in ("ops.matmul.calls", "ops.matmul.flops"):
+            assert cached_state["counters"][name] \
+                == live_state["counters"][name], name
+        live_hist = live_state["histograms"]["epoch.loss"]
+        cached_hist = cached_state["histograms"]["epoch.loss"]
+        for field in ("count", "total", "min", "max"):
+            assert cached_hist[field] == live_hist[field], field
+        # The persisted shard replays the cell's spans into the trace.
+        names = sorted(e["name"] for e in cached_events
+                       if e.get("type") == "span")
+        assert names.count("work") == 3 and names.count("cell") == 3
+
+    def test_retried_attempt_counters_never_reach_the_store(self, tmp_path):
+        from repro.runtime.artifacts import sweep_scope
+
+        marker = tmp_path / "attempted"
+        cells = [Cell(key=("flaky",), fn=_flaky_ops_cell,
+                      kwargs={"marker": str(marker), "amount": 5})]
+
+        telemetry.configure()
+        try:
+            with sweep_scope(_make_sweep(tmp_path)):
+                results = execute_cells(
+                    cells, PoolConfig(workers=2, max_retries=1))
+            live = telemetry.get_metrics().to_state()["counters"]
+        finally:
+            telemetry.shutdown()
+        assert results[0].status == OK and results[0].attempts == 2
+        assert live.get("ops.matmul.calls") == 5, \
+            "the failed attempt's counters must be discarded live"
+
+        telemetry.configure()
+        try:
+            with sweep_scope(_make_sweep(tmp_path)):
+                resumed = execute_cells(
+                    cells, PoolConfig(workers=2, max_retries=1))
+            cached = telemetry.get_metrics().to_state()["counters"]
+        finally:
+            telemetry.shutdown()
+        assert resumed[0].status == CACHED
+        assert cached.get("ops.matmul.calls") == 5, \
+            "the persisted shard must hold only the successful attempt"
+
+    def test_failed_cells_are_never_persisted(self, tmp_path):
+        from repro.runtime.artifacts import sweep_scope
+
+        sweep = _make_sweep(tmp_path)
+        cells = make_cells(2)
+        cells[1] = Cell(key=("cell", 1), fn=_raise, kwargs={"msg": "boom"})
+        with sweep_scope(sweep):
+            results = execute_cells(cells, PoolConfig(workers=2,
+                                                      max_retries=0))
+        assert results[1].status == ERROR
+        assert len(sweep.store) == 1
+        assert sweep.address_for(cells[1]) not in sweep.store
+
+    def test_no_consult_reexecutes_but_repopulates(self, tmp_path):
+        from repro.runtime.artifacts import sweep_scope
+
+        cells = make_cells(2)
+        with sweep_scope(_make_sweep(tmp_path)):
+            execute_cells(cells, PoolConfig(workers=1))
+        fresh = _make_sweep(tmp_path, consult=False)
+        with sweep_scope(fresh):
+            results = execute_cells(cells, PoolConfig(workers=1))
+        assert all(r.status == OK for r in results), \
+            "--fresh mode must execute every cell live"
+        assert fresh.store.misses == 2 and fresh.store.stores == 2
+
+
+@pytest.mark.slow
+class TestKillAndResume:
+    """SIGKILL a pooled sweep partway; resume must run only the rest."""
+
+    CELLS = 6
+    DELAY = 0.4
+
+    def _cell_module(self, tmp_path):
+        path = tmp_path / "resume_cells.py"
+        path.write_text(
+            "import time\n"
+            "def slow_cell(x, seed=0, delay=0.0):\n"
+            "    time.sleep(delay)\n"
+            "    return {'x': x, 'seed': seed, 'value': x * x}\n")
+        return path
+
+    def _import_cells(self, path):
+        import importlib.util
+        import sys
+
+        spec = importlib.util.spec_from_file_location("resume_cells", path)
+        module = importlib.util.module_from_spec(spec)
+        sys.modules["resume_cells"] = module
+        spec.loader.exec_module(module)
+        return module
+
+    def _make_cells(self, module, delay):
+        return [Cell(key=("cell", i), fn=module.slow_cell,
+                     kwargs={"x": i, "seed": derive_cell_seed(0, "cell", i),
+                             "delay": delay})
+                for i in range(self.CELLS)]
+
+    def test_sigkill_midsweep_then_resume_runs_only_remainder(self, tmp_path):
+        import signal
+        import subprocess
+        import sys
+
+        module_path = self._cell_module(tmp_path)
+        store_dir = tmp_path / "store"
+        driver = tmp_path / "driver.py"
+        driver.write_text(
+            f"import sys\n"
+            f"sys.path.insert(0, {str(tmp_path)!r})\n"
+            f"import resume_cells\n"
+            f"from repro import telemetry\n"
+            f"from repro.runtime import artifacts\n"
+            f"from repro.runtime.pool import (Cell, PoolConfig,\n"
+            f"                                derive_cell_seed,\n"
+            f"                                execute_cells)\n"
+            f"telemetry.configure()\n"
+            f"sweep = artifacts.SweepArtifacts(\n"
+            f"    store=artifacts.ArtifactStore({str(store_dir)!r}),\n"
+            f"    config_fingerprint='fp-kill', code_rev='rev1')\n"
+            f"cells = [Cell(key=('cell', i), fn=resume_cells.slow_cell,\n"
+            f"              kwargs={{'x': i,\n"
+            f"                      'seed': derive_cell_seed(0, 'cell', i),\n"
+            f"                      'delay': {self.DELAY}}})\n"
+            f"         for i in range({self.CELLS})]\n"
+            f"with artifacts.sweep_scope(sweep):\n"
+            f"    execute_cells(cells, PoolConfig(workers=2,\n"
+            f"                                    start_method='fork'))\n")
+
+        from repro.runtime.artifacts import (ArtifactStore, SweepArtifacts,
+                                             sweep_scope)
+
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        proc = subprocess.Popen([sys.executable, str(driver)],
+                                env={**os.environ, "PYTHONPATH": src},
+                                stdout=subprocess.DEVNULL,
+                                stderr=subprocess.DEVNULL)
+        # Wait until at least two cells have committed, then SIGKILL the
+        # sweep — no cleanup handlers run, exactly like a dead node.
+        store = ArtifactStore(store_dir)
+        deadline = time.monotonic() + 60.0
+        try:
+            while len(store) < 2:
+                if proc.poll() is not None or time.monotonic() > deadline:
+                    pytest.fail("driver exited or stalled before storing "
+                                f"2 cells (stored {len(store)})")
+                time.sleep(0.02)
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+
+        stored = len(store)
+        assert 0 < stored < self.CELLS, \
+            f"kill must land mid-sweep (stored {stored}/{self.CELLS})"
+
+        module = self._import_cells(module_path)
+        cells = self._make_cells(module, self.DELAY)
+
+        # Uninterrupted reference run (no store) for the byte gate.
+        reference = execute_cells(cells, PoolConfig(workers=2))
+
+        resumed_sweep = SweepArtifacts(store=ArtifactStore(store_dir),
+                                       config_fingerprint="fp-kill",
+                                       code_rev="rev1")
+        with sweep_scope(resumed_sweep):
+            resumed = execute_cells(cells, PoolConfig(workers=2))
+
+        stats = pool_stats(resumed)
+        assert stats["cached"] == stored, \
+            "every committed cell must be served from the store"
+        assert stats["ok"] == self.CELLS - stored, \
+            "only the remainder may execute"
+        assert stats["failed"] == 0
+        assert stats["cached"] + stats["ok"] == stats["cells"] == self.CELLS
+
+        from repro.bench.io import canonical_payload
+        assert canonical_payload([r.value for r in resumed]) \
+            == canonical_payload([r.value for r in reference]), \
+            "resumed payload must be byte-identical to a never-killed run"

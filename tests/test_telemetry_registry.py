@@ -237,7 +237,7 @@ class TestSchemaV2:
                                   "max_retries": 1, "retries": 0})
         loaded = RunRegistry(tmp_path).load()[0]
         assert loaded.run_id == record.run_id
-        assert loaded.schema == "repro.telemetry.registry/v3"
+        assert loaded.schema == "repro.telemetry.registry/v4"
         assert loaded.workers == 4
         assert loaded.pool["cell_timeout"] == 600.0
 
@@ -274,7 +274,7 @@ class TestSchemaV2:
         # the v1 line is the baseline, the v2 append the candidate.
         baseline, candidate = registry.resolve_pair(old.config_fingerprint)
         assert baseline.schema.endswith("/v1")
-        assert candidate.schema.endswith("/v3")
+        assert candidate.schema.endswith("/v4")
         assert passed(evaluate_pair(baseline, candidate, default_thresholds()))
 
 
@@ -307,6 +307,48 @@ class TestSchemaV3:
         assert registry.corrupt_lines == 0
         assert loaded.live_path is None
         assert loaded.chrome_trace_path is None
+
+
+# ---------------------------------------------------------------------------
+# schema v4: resumable-sweep artifact accounting + v3 compatibility
+# ---------------------------------------------------------------------------
+
+class TestSchemaV4:
+    def test_artifacts_block_round_trips(self, tmp_path):
+        record = record_run(make_manifest(), registry_dir=tmp_path,
+                            workers=2,
+                            artifacts={"mode": "resume", "dir": "store",
+                                       "hit": 3, "miss": 1, "stored": 1})
+        loaded = RunRegistry(tmp_path).load()[0]
+        assert loaded.run_id == record.run_id
+        assert loaded.schema == "repro.telemetry.registry/v4"
+        assert loaded.artifacts["mode"] == "resume"
+        assert loaded.artifacts["hit"] == 3
+
+    def test_artifacts_outside_config_fingerprint(self, tmp_path):
+        fresh = record_run(make_manifest(), registry_dir=tmp_path,
+                           artifacts={"mode": "fresh", "hit": 0})
+        resumed = record_run(make_manifest(), registry_dir=tmp_path,
+                             artifacts={"mode": "resume", "hit": 4})
+        assert fresh.config_fingerprint == resumed.config_fingerprint, \
+            "serving cells from the store must not change what was measured"
+
+    def test_storeless_run_has_empty_block(self, tmp_path):
+        record_run(make_manifest(), registry_dir=tmp_path)
+        assert RunRegistry(tmp_path).load()[0].artifacts == {}
+
+    def test_v3_line_loads_with_empty_artifacts(self, tmp_path):
+        """A registry written before PR 7 still loads cleanly."""
+        registry = RunRegistry(tmp_path)
+        v3 = make_record(1.0).to_dict()
+        v3["schema"] = "repro.telemetry.registry/v3"
+        del v3["artifacts"]
+        with (tmp_path / REGISTRY_FILENAME).open("a") as handle:
+            handle.write(json.dumps(v3) + "\n")
+        (loaded,) = registry.load()
+        assert registry.corrupt_lines == 0
+        assert loaded.artifacts == {}
+        assert loaded.schema.endswith("/v3")
 
 
 # ---------------------------------------------------------------------------
