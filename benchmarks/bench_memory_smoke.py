@@ -1,0 +1,203 @@
+"""Memory-observatory smoke gate: the ledger must *account* and *gate*.
+
+Exercises the full memory vertical on a small efficiency slice:
+
+- **Accounting sanity** (controlled, not workload-noise-driven): a single
+  64 MiB engine allocation inside a span is accounted byte-exactly by the
+  ledger, attributed to the right span path, and the ledger peak never
+  exceeds the measured RSS peak (accounted ⊆ measured).
+- **CLI vertical**: two real CLI runs — one with ``--mem-trace``, one
+  without — both append registry records whose schema-v5 ``memory`` block
+  carries the ledger peak and the accounting-coverage ratios; the
+  ``--mem-trace`` run's Chrome trace contains the ``ledger_live`` counter
+  track next to the RSS track.
+- **Payload isolation**: the canonical result payloads of the two runs
+  are byte-identical — the observatory is observability, never payload.
+- **Gate calibration**: the pinned ``benchmarks/thresholds/efficiency
+  .json`` memory rules pass on the clean pair and fail when a synthetic
+  2× ledger-peak inflation is injected into the candidate — the memory
+  gate is neither vacuous nor trigger-happy.
+
+Artifacts (registry, traces, verdict tables) persist under
+``benchmarks/results/memory_smoke/`` for the ``bench-memory`` CI job.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import shutil
+
+import numpy as np
+
+from repro import telemetry
+from repro.autodiff import Tensor
+from repro.bench.__main__ import main as bench_main
+from repro.bench.io import canonical_payload, load_rows
+from repro.telemetry.regression import (
+    evaluate_pair,
+    passed,
+    pinned_thresholds,
+    render_verdict_table,
+)
+from repro.telemetry.registry import RunRegistry
+
+from .conftest import RESULTS_DIR, emit, env_epochs, run_once
+
+EPOCHS_DEFAULT = 4
+MEMORY_DIR = RESULTS_DIR / "memory_smoke"
+THRESHOLDS_DIR = RESULTS_DIR.parent / "thresholds"
+
+#: The controlled allocation: large enough that allocator reuse and
+#: interpreter noise cannot hide it, small enough for any CI runner.
+PROBE_BYTES = 64 * 2 ** 20
+
+
+def _controlled_accounting() -> dict:
+    """One 64 MiB allocation, accounted end to end."""
+    telemetry.shutdown()
+    telemetry.configure()
+    with telemetry.span("probe"):
+        tensor = Tensor(np.zeros(PROBE_BYTES // 4, dtype=np.float32))
+    ledger = telemetry.get_ledger()
+    out = {
+        "peak_bytes": ledger.peak_bytes,
+        "peak_path": ledger.peak_path,
+        "live_bytes": ledger.live_bytes,
+        "rss_peak_bytes": telemetry.peak_rss_bytes(),
+    }
+    del tensor
+    events = telemetry.shutdown()
+    out["span_mem_bytes"] = next(
+        e["mem_bytes"] for e in events if e.get("name") == "probe")
+    return out
+
+
+def _cli_run(index: int, epochs: int, mem_trace: bool) -> int:
+    argv = [
+        "efficiency", "--datasets", "cora", "--filters", "ppr",
+        "--schemes", "mini_batch", "--epochs", str(epochs),
+        "--registry-dir", str(MEMORY_DIR),
+        "--trace", str(MEMORY_DIR / f"run{index}.jsonl"),
+        "--output", str(MEMORY_DIR / f"run{index}.json"),
+        "--live", str(MEMORY_DIR / f"run{index}.live.jsonl"),
+    ]
+    if mem_trace:
+        argv.append("--mem-trace")
+    return bench_main(argv)
+
+
+def _memory_smoke(epochs: int) -> dict:
+    if MEMORY_DIR.exists():
+        shutil.rmtree(MEMORY_DIR)
+    probe = _controlled_accounting()
+
+    # Run 1 untraced timeline, run 2 with --mem-trace: the pair doubles as
+    # the payload-isolation check and the registry's (baseline, candidate).
+    exit_codes = [_cli_run(1, epochs, mem_trace=False),
+                  _cli_run(2, epochs, mem_trace=True)]
+
+    payloads = [canonical_payload(load_rows(MEMORY_DIR / f"run{i}.json"))
+                for i in (1, 2)]
+
+    trace_json = json.loads(
+        (MEMORY_DIR / "run2.live.trace.json").read_text())
+    counter_tracks = {e.get("name") for e in trace_json["traceEvents"]
+                      if e.get("ph") == "C"}
+
+    registry = RunRegistry(MEMORY_DIR)
+    records = registry.load()
+    baseline, candidate = registry.resolve_pair(
+        records[-1].config_fingerprint)
+
+    thresholds = pinned_thresholds("efficiency", directory=THRESHOLDS_DIR)
+    clean_verdicts = evaluate_pair(baseline, candidate, thresholds)
+
+    # Synthetic memory regression: a candidate whose accounted peak (and
+    # total) is 2× the baseline's — +100%, past the 50%/75% memory gates.
+    inflated = copy.deepcopy(candidate)
+    for field in ("peak_bytes", "total_alloc_bytes"):
+        if field in inflated.memory and field in baseline.memory:
+            inflated.memory[field] = 2 * baseline.memory[field]
+    inflated_verdicts = evaluate_pair(baseline, inflated, thresholds)
+
+    return {
+        "probe": probe,
+        "exit_codes": exit_codes,
+        "payloads": payloads,
+        "counter_tracks": counter_tracks,
+        "entries": len(records),
+        "baseline": baseline,
+        "candidate": candidate,
+        "thresholds": thresholds,
+        "clean_verdicts": clean_verdicts,
+        "inflated_verdicts": inflated_verdicts,
+    }
+
+
+def test_memory_smoke_gate(benchmark):
+    epochs = env_epochs(EPOCHS_DEFAULT)
+    report = run_once(benchmark, _memory_smoke, epochs)
+    probe = report["probe"]
+    baseline, candidate = report["baseline"], report["candidate"]
+
+    emit([{"check": "probe.peak_bytes", "value": probe["peak_bytes"]},
+          {"check": "probe.rss_peak_bytes", "value": probe["rss_peak_bytes"]},
+          {"check": "candidate.memory.peak_bytes",
+           "value": candidate.memory.get("peak_bytes")},
+          {"check": "candidate.memory.coverage.ledger_vs_rss",
+           "value": (candidate.memory.get("coverage") or {})
+           .get("ledger_vs_rss")},
+          {"check": "candidate.memory.device_peak_bytes",
+           "value": candidate.memory.get("device_peak_bytes")}],
+         title="memory observatory smoke")
+
+    verdict_text = (render_verdict_table(report["clean_verdicts"])
+                    + "\n\n-- with synthetic 2x ledger-peak inflation --\n"
+                    + render_verdict_table(report["inflated_verdicts"]))
+    (MEMORY_DIR / "verdicts.txt").write_text(verdict_text + "\n")
+    print()
+    print(verdict_text)
+
+    # --- accounting sanity: the controlled 64 MiB probe is byte-exact.
+    assert probe["peak_bytes"] >= PROBE_BYTES
+    assert probe["span_mem_bytes"] >= PROBE_BYTES
+    assert probe["peak_path"] == "probe"
+    # Accounted memory can never exceed what the OS actually measured.
+    assert probe["peak_bytes"] <= probe["rss_peak_bytes"]
+
+    # --- CLI vertical: both runs indexed, memory blocks populated.
+    assert report["exit_codes"] == [0, 0]
+    assert report["entries"] == 2
+    for record in (baseline, candidate):
+        assert record.schema.endswith("/v5")
+        assert record.memory["peak_bytes"] > 0
+        assert record.memory["total_alloc_bytes"] \
+            >= record.memory["peak_bytes"]
+        coverage = record.memory["coverage"]
+        assert coverage["ledger_vs_rss"] is not None
+        assert 0.0 < coverage["ledger_vs_rss"] <= 1.0
+    # Allocation totals are schedule-invariant, so the paired runs agree.
+    assert baseline.memory["total_alloc_bytes"] \
+        == candidate.memory["total_alloc_bytes"]
+    assert baseline.memory["alloc_count"] == candidate.memory["alloc_count"]
+
+    # --- Chrome trace: accounted + measured tracks side by side.
+    assert "ledger_live" in report["counter_tracks"], \
+        "--mem-trace run's Chrome trace is missing the ledger counter track"
+    assert "rss" in report["counter_tracks"]
+
+    # --- payload isolation: --mem-trace must not move a single result
+    # byte (the observatory is observability, never payload).
+    assert report["payloads"][0] == report["payloads"][1]
+
+    # --- gate calibration: clean pair passes, 2x inflation fails on the
+    # memory axis specifically.
+    assert any(t.metric.startswith("memory.") for t in report["thresholds"]), \
+        "pinned benchmarks/thresholds/efficiency.json lacks memory rules"
+    assert passed(report["clean_verdicts"]), \
+        render_verdict_table(report["clean_verdicts"])
+    assert not passed(report["inflated_verdicts"]), \
+        "a synthetic 2x ledger-peak inflation must trip the memory gate"
+    failed = [v for v in report["inflated_verdicts"] if v.failed]
+    assert failed and all(v.metric.startswith("memory.") for v in failed)

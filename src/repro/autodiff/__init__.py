@@ -11,10 +11,12 @@ from . import functional, init, optim
 from .sparse import spmm, spmm_numpy
 from .tensor import (
     Tensor,
+    add_allocation_hook,
     as_tensor,
     concatenate,
     is_grad_enabled,
     no_grad,
+    remove_allocation_hook,
     set_allocation_hook,
     set_op_hook,
     stack,
@@ -29,6 +31,8 @@ __all__ = [
     "where",
     "no_grad",
     "is_grad_enabled",
+    "add_allocation_hook",
+    "remove_allocation_hook",
     "set_allocation_hook",
     "set_op_hook",
     "spmm",

@@ -32,18 +32,71 @@ from ..errors import AutodiffError
 ArrayLike = Union[np.ndarray, float, int, Sequence]
 
 _grad_enabled = True
-_allocation_hook: Optional[Callable[[int], None]] = None
+#: Registered allocation subscribers, dispatched in registration order.
+#: A tuple (not a list) so dispatch iterates over an immutable snapshot:
+#: a hook that adds/removes hooks mid-notification cannot shear the loop.
+_allocation_hooks: tuple = ()
+#: The adapter currently installed by the deprecated single-slot setter.
+_legacy_allocation_hook: Optional[Callable] = None
 _op_hook: Optional[Callable[[str, int, int], None]] = None
+
+#: Signature of a registered allocation hook:
+#: ``hook(nbytes, array, op)`` — the byte size, the freshly materialized
+#: numpy array itself (so subscribers can register weakref-based free
+#: detection), and the op name that produced it (``"leaf"`` for arrays
+#: wrapped directly in a :class:`Tensor`).
+AllocationHook = Callable[[int, np.ndarray, str], None]
+
+
+def add_allocation_hook(hook: AllocationHook) -> AllocationHook:
+    """Subscribe ``hook(nbytes, array, op)`` to every engine allocation.
+
+    Multiple subscribers compose: :class:`repro.runtime.device.DeviceModel`
+    meters simulated device memory per step while the telemetry allocation
+    ledger attributes the same bytes to the open span tree — neither
+    displaces the other. Adding an already-registered hook is a no-op;
+    returns ``hook`` so it can be captured for later removal.
+    """
+    global _allocation_hooks
+    if hook not in _allocation_hooks:
+        _allocation_hooks = _allocation_hooks + (hook,)
+    return hook
+
+
+def remove_allocation_hook(hook: AllocationHook) -> None:
+    """Unsubscribe one allocation hook (no-op when not registered).
+
+    Compares by equality, not identity, so bound methods work: each
+    ``obj.method`` access creates a fresh bound-method object, but they
+    compare equal, letting ``add(self._on_alloc)`` / ``remove(self.
+    _on_alloc)`` pair up naturally.
+    """
+    global _allocation_hooks
+    _allocation_hooks = tuple(h for h in _allocation_hooks if h != hook)
 
 
 def set_allocation_hook(hook: Optional[Callable[[int], None]]) -> None:
-    """Install ``hook(nbytes)`` called for every array the engine allocates.
+    """Deprecated single-slot setter kept for backward compatibility.
 
-    Used by :mod:`repro.runtime.device` to meter simulated device memory.
-    Pass ``None`` to remove the hook.
+    Historical callers installed ``hook(nbytes)`` and relied on ``None``
+    to remove it; this shim adapts the old one-argument signature onto
+    :func:`add_allocation_hook` / :func:`remove_allocation_hook`. Only the
+    shim's own previous hook is displaced — hooks registered through the
+    multi-subscriber API are untouched, which is the fix for
+    ``DeviceModel.step()`` silently clobbering the span tracer's
+    allocation attribution.
     """
-    global _allocation_hook
-    _allocation_hook = hook
+    global _legacy_allocation_hook
+    if _legacy_allocation_hook is not None:
+        remove_allocation_hook(_legacy_allocation_hook)
+        _legacy_allocation_hook = None
+    if hook is not None:
+        def adapter(nbytes: int, array: np.ndarray, op: str,
+                    _hook=hook) -> None:
+            _hook(nbytes)
+
+        _legacy_allocation_hook = adapter
+        add_allocation_hook(adapter)
 
 
 def set_op_hook(hook: Optional[Callable[[str, int, int], None]]) -> None:
@@ -58,9 +111,9 @@ def set_op_hook(hook: Optional[Callable[[str, int, int], None]]) -> None:
     _op_hook = hook
 
 
-def _notify_alloc(arr: np.ndarray) -> None:
-    if _allocation_hook is not None:
-        _allocation_hook(arr.nbytes)
+def _notify_alloc(arr: np.ndarray, op: str = "leaf") -> None:
+    for hook in _allocation_hooks:
+        hook(arr.nbytes, arr, op)
 
 
 def _notify_op(op: str, flops: int, nbytes: int) -> None:
@@ -148,7 +201,7 @@ class Tensor:
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: tuple = ()
         self._op: str = "leaf"
-        _notify_alloc(self.data)
+        _notify_alloc(self.data, "leaf")
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -172,7 +225,7 @@ class Tensor:
             out._backward = None
             out._parents = ()
         out._op = op
-        _notify_alloc(data)
+        _notify_alloc(data, op)
         return out
 
     # ------------------------------------------------------------------

@@ -12,7 +12,15 @@ Observability: runs collect telemetry (spans, op counters, per-epoch
 metrics) by default. ``--trace PATH`` streams the events to a JSONL file,
 writes a run manifest next to it, and appends a trace report to the
 output; ``--no-telemetry`` disables collection entirely (the zero-overhead
-mode used for timing-sensitive comparisons). Every telemetry-enabled run
+mode used for timing-sensitive comparisons). The memory observatory
+(:mod:`repro.telemetry.memory`) runs whenever telemetry does: an
+allocation ledger accounts every tensor allocation against the open span
+path, and its summary — accounted peak, attribution, coverage vs
+measured RSS — lands in the trace report and the registry record.
+``--mem-trace`` additionally samples the ledger's live-bytes timeline,
+which the Chrome trace export renders as a ``ledger_live`` counter track
+next to the sampled-RSS track (accounted vs measured memory, side by
+side, in Perfetto). Every telemetry-enabled run
 is also indexed in the append-only run registry
 (:mod:`repro.telemetry.registry`; ``--no-registry`` skips it,
 ``--registry-dir`` relocates it), which is what powers run history::
@@ -157,6 +165,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--trace", type=str, default=None, metavar="PATH",
                         help="stream telemetry events to this JSONL file and "
                              "write a run manifest next to it")
+    parser.add_argument("--mem-trace", action="store_true",
+                        help="sample the allocation ledger's live-bytes "
+                             "timeline during the run; the samples ride the "
+                             "final memory event and render as a "
+                             "'ledger_live' counter track in the Chrome "
+                             "trace (the ledger itself — peaks, totals, "
+                             "attribution — is always on with telemetry)")
     parser.add_argument("--watch", action="store_true",
                         help="render a one-line live status of the sweep "
                              "(cells running/ok/failed, stragglers, stalls, "
@@ -366,6 +381,8 @@ def main(argv=None) -> int:
 
     if args.trace and args.no_telemetry:
         parser.error("--trace requires telemetry; drop --no-telemetry")
+    if args.mem_trace and args.no_telemetry:
+        parser.error("--mem-trace requires telemetry; drop --no-telemetry")
 
     live_requested = args.watch or args.live is not None
     if live_requested and args.no_telemetry:
@@ -449,7 +466,8 @@ def main(argv=None) -> int:
                    "plan": not (args.no_plan or args.no_cache)})
     span_epoch_wall = None
     if telemetry_on:
-        tracer = telemetry.configure(trace_path=args.trace)
+        tracer = telemetry.configure(trace_path=args.trace,
+                                     mem_trace=args.mem_trace)
         span_epoch_wall = tracer.wall_epoch
     monitor = None
     monitor_scope = contextlib.nullcontext()

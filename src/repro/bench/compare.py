@@ -155,8 +155,11 @@ def compare_files(baseline_path, candidate_path, **kwargs) -> Comparison:
 
 
 #: Per-stage fields diffed by the registry comparison (inclusive time,
-#: exclusive time, and host RAM growth, matching the paper's stage view).
-REGISTRY_STAGE_FIELDS = ("seconds", "self_seconds", "ram_delta_bytes")
+#: exclusive time, host RAM growth, and the allocation ledger's
+#: accounted bytes — inclusive, exclusive, and the in-stage live peak —
+#: matching the paper's stage view).
+REGISTRY_STAGE_FIELDS = ("seconds", "self_seconds", "ram_delta_bytes",
+                         "mem_bytes", "self_mem_bytes", "mem_peak_bytes")
 
 
 def registry_delta_rows(baseline, candidate,
@@ -198,6 +201,12 @@ def registry_delta_rows(baseline, candidate,
     for name in sorted(set(baseline.summary or {}) | set(candidate.summary or {})):
         add(f"summary.{name}", (baseline.summary or {}).get(name),
             (candidate.summary or {}).get(name))
+
+    # Memory-observatory scalars (schema v5); absent blocks diff as nothing.
+    base_memory = getattr(baseline, "memory", None) or {}
+    cand_memory = getattr(candidate, "memory", None) or {}
+    for name in sorted(set(base_memory) | set(cand_memory)):
+        add(f"memory.{name}", base_memory.get(name), cand_memory.get(name))
     return rows
 
 

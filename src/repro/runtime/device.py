@@ -25,7 +25,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from .. import telemetry
-from ..autodiff.tensor import set_allocation_hook
+from ..autodiff.tensor import add_allocation_hook, remove_allocation_hook
 from ..errors import DeviceOOMError
 
 GIBIBYTE = 1024 ** 3
@@ -86,23 +86,28 @@ class DeviceModel:
     def step(self) -> Iterator[None]:
         """Meter every autodiff allocation inside the block as activations.
 
-        Steps do not nest; the allocation hook is removed on exit even when
-        the step raises (including on simulated OOM).
+        Steps do not nest; the device's own allocation hook is removed on
+        exit even when the step raises (including on simulated OOM). The
+        hook is *subscribed* (:func:`~repro.autodiff.tensor.
+        add_allocation_hook`), not installed into a single slot, so a step
+        composes with the telemetry allocation ledger instead of silently
+        displacing its span attribution.
         """
         if self._in_step:
             yield
             return
         self._in_step = True
         self._transient_bytes = 0
-        set_allocation_hook(self._on_alloc)
+        add_allocation_hook(self._on_alloc)
         try:
             yield
         finally:
-            set_allocation_hook(None)
+            remove_allocation_hook(self._on_alloc)
             self._in_step = False
             self._transient_bytes = 0
 
-    def _on_alloc(self, nbytes: int) -> None:
+    def _on_alloc(self, nbytes: int, array: Optional[np.ndarray] = None,
+                  op: str = "leaf") -> None:
         self._check(nbytes)
         self._transient_bytes += nbytes
         total = self.persistent_bytes + self._transient_bytes

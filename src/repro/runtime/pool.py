@@ -24,7 +24,13 @@ guarantees the benchmark methodology depends on:
   counters, histograms, and the trace file describe the whole sweep as
   one coherent run. Only the *successful* attempt of a cell contributes
   telemetry — a retried attempt's partial counters are discarded, which
-  is what keeps merged totals equal to a serial run's.
+  is what keeps merged totals equal to a serial run's. The worker's
+  allocation-ledger summary (:mod:`repro.telemetry.memory`) rides the
+  same shard as an ordinary ``{"type": "memory"}`` event: the worker's
+  telemetry shutdown emits it, and the parent's ``fold_shard`` merges it
+  into the parent ledger (allocation totals add; peaks take the max and
+  adopt that shard's attribution) — so pooled alloc totals equal serial
+  totals with no executor-level plumbing.
 
 Caches (:mod:`repro.runtime.cache`) are per-process by construction: a
 worker inherits (fork) or rebuilds (spawn) its own memos, and cache hits

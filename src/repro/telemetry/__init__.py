@@ -43,7 +43,12 @@ from __future__ import annotations
 import threading
 from typing import Dict, List, Optional, Union
 
-from .hooks import install_op_hooks, uninstall_op_hooks
+from .hooks import (
+    install_alloc_hooks,
+    install_op_hooks,
+    uninstall_alloc_hooks,
+    uninstall_op_hooks,
+)
 from .live import (
     LiveConfig,
     LiveEmitter,
@@ -64,6 +69,7 @@ from .manifest import (
     read_manifest,
     write_manifest,
 )
+from .memory import MEMORY_SCHEMA, AllocationLedger, memory_block
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .registry import (
     RunRecord,
@@ -86,14 +92,17 @@ from .regression import (
 )
 from .report import (
     aggregate_spans,
+    final_memory,
     final_metrics,
     render_counters,
     render_epoch_table,
+    render_memory,
     render_run_diff,
     render_top_spans,
     render_trace_report,
     sparkline,
 )
+from .rss import current_rss_bytes, peak_rss_bytes
 from .sinks import (
     EventSink,
     JsonlSink,
@@ -107,12 +116,14 @@ from .trace_export import chrome_trace_events, export_chrome_trace
 
 _tracer: Optional[Tracer] = None
 _memory: Optional[MemorySink] = None
+_ledger: Optional[AllocationLedger] = None
 _config_lock = threading.Lock()
 
 
 def configure(trace_path: Optional[str] = None,
               sink: Optional[EventSink] = None,
-              metrics: Optional[MetricsRegistry] = None) -> Tracer:
+              metrics: Optional[MetricsRegistry] = None,
+              mem_trace: bool = False) -> Tracer:
     """Enable telemetry process-wide; returns the active tracer.
 
     Events always accumulate in an in-process :class:`MemorySink` (so
@@ -120,8 +131,13 @@ def configure(trace_path: Optional[str] = None,
     additionally streams them to a JSONL file. An explicit ``sink``
     replaces the memory buffer entirely. Re-configuring tears down any
     previous tracer first.
+
+    An :class:`AllocationLedger` is always installed alongside the tracer
+    (live/peak accounting is a handful of dict updates per allocation);
+    ``mem_trace=True`` additionally records the throttled live-bytes
+    timeline that the Chrome trace exporter renders as a counter track.
     """
-    global _tracer, _memory
+    global _tracer, _memory, _ledger
     with _config_lock:
         if _tracer is not None:
             _shutdown_locked()
@@ -135,20 +151,30 @@ def configure(trace_path: Optional[str] = None,
             else:
                 active_sink = _memory
         _tracer = Tracer(sink=active_sink, metrics=metrics)
+        _ledger = AllocationLedger(sample=mem_trace)
         install_op_hooks(_tracer)
+        install_alloc_hooks(_tracer, _ledger)
         return _tracer
 
 
 def _shutdown_locked() -> List[Dict]:
-    global _tracer, _memory
+    global _tracer, _memory, _ledger
     events: List[Dict] = []
     if _tracer is not None:
         uninstall_op_hooks()
+        uninstall_alloc_hooks()
+        if _ledger is not None:
+            # The run's memory summary rides the ordinary event stream, so
+            # worker shards ship it for free and fold_shard can merge it.
+            _tracer.sink.emit({"type": "memory",
+                               "memory": _ledger.summary()})
+            _ledger.close()
         _tracer.close()
         if _memory is not None:
             events = _memory.events
     _tracer = None
     _memory = None
+    _ledger = None
     return events
 
 
@@ -171,6 +197,11 @@ def get_tracer() -> Optional[Tracer]:
 def get_metrics() -> Optional[MetricsRegistry]:
     """The active registry, or ``None`` while telemetry is disabled."""
     return _tracer.metrics if _tracer is not None else None
+
+
+def get_ledger() -> Optional[AllocationLedger]:
+    """The active allocation ledger, or ``None`` while disabled."""
+    return _ledger
 
 
 def span(name: str, **attrs) -> Union[Span, "object"]:
@@ -202,7 +233,12 @@ def fold_shard(events: Optional[List[Dict]] = None,
       under the parent's current span, depths shifted accordingly, and
       (when given) a ``shard`` label attached — the merged trace reads as
       one coherent run. The worker's final ``metrics`` snapshot event is
-      dropped: the parent emits its own merged snapshot at close.
+      dropped: the parent emits its own merged snapshot at close. The
+      worker's final ``memory`` event (its allocation-ledger summary) is
+      likewise not re-emitted — it merges into the parent's ledger
+      (:meth:`AllocationLedger.merge_summary`: allocation totals add,
+      peaks max with attribution adopted), so the parent's single
+      shutdown summary carries pooled totals equal to serial totals.
 
     Fold shards in deterministic (cell-list) order: counter merging is
     commutative, but trace event order — and therefore the bytes of the
@@ -223,6 +259,10 @@ def fold_shard(events: Optional[List[Dict]] = None,
             id_map[event["id"]] = _tracer.next_span_id()
     for event in events:
         if event.get("type") == "metrics":
+            continue
+        if event.get("type") == "memory":
+            if _ledger is not None:
+                _ledger.merge_summary(event.get("memory") or {})
             continue
         event = dict(event)
         if event.get("type") == "span":
@@ -258,14 +298,26 @@ def shard_capture(shard: Dict):
     restored afterwards even if the body raises; while telemetry is
     disabled the body runs unchanged and ``shard`` stays empty.
     """
-    global _tracer, _memory
+    global _tracer, _memory, _ledger
     with _config_lock:
-        parent, parent_memory = _tracer, _memory
+        parent, parent_memory, parent_ledger = _tracer, _memory, _ledger
         if parent is not None:
             uninstall_op_hooks()
+            uninstall_alloc_hooks()
             _memory = MemorySink()
             _tracer = Tracer(sink=_memory)
+            # Inherit the parent's timeline-sampling config so a
+            # --mem-trace run's counter track covers inline cells too
+            # (their summaries — samples included — fold back via
+            # merge_summary).
+            if parent_ledger is not None:
+                _ledger = AllocationLedger(
+                    sample=parent_ledger.sample,
+                    sample_interval_s=parent_ledger.sample_interval_s)
+            else:
+                _ledger = AllocationLedger()
             install_op_hooks(_tracer)
+            install_alloc_hooks(_tracer, _ledger)
     if parent is None:
         yield shard
         return
@@ -273,14 +325,23 @@ def shard_capture(shard: Dict):
         yield shard
     finally:
         with _config_lock:
-            child, child_memory = _tracer, _memory
+            child, child_memory, child_ledger = _tracer, _memory, _ledger
             if child is not None:
                 uninstall_op_hooks()
+                uninstall_alloc_hooks()
                 shard["metrics"] = child.metrics.to_state()
+                if child_ledger is not None:
+                    # Same shape a pool worker ships: the cell's ledger
+                    # summary rides the shard events for fold_shard.
+                    child.sink.emit({"type": "memory",
+                                     "memory": child_ledger.summary()})
+                    child_ledger.close()
                 child.close()
                 shard["events"] = child_memory.events if child_memory else []
-            _tracer, _memory = parent, parent_memory
+            _tracer, _memory, _ledger = parent, parent_memory, parent_ledger
             install_op_hooks(parent)
+            if parent_ledger is not None:
+                install_alloc_hooks(parent, parent_ledger)
 
 
 def set_gauge(name: str, value: float) -> None:
@@ -308,6 +369,7 @@ __all__ = [
     "enabled",
     "get_tracer",
     "get_metrics",
+    "get_ledger",
     # recording
     "span",
     "emit_event",
@@ -324,6 +386,11 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "AllocationLedger",
+    "MEMORY_SCHEMA",
+    "memory_block",
+    "current_rss_bytes",
+    "peak_rss_bytes",
     "EventSink",
     "MemorySink",
     "JsonlSink",
@@ -355,9 +422,11 @@ __all__ = [
     "render_top_spans",
     "render_epoch_table",
     "render_counters",
+    "render_memory",
     "render_run_diff",
     "aggregate_spans",
     "final_metrics",
+    "final_memory",
     "sparkline",
     # run registry
     "RunRecord",
@@ -379,4 +448,6 @@ __all__ = [
     # hooks
     "install_op_hooks",
     "uninstall_op_hooks",
+    "install_alloc_hooks",
+    "uninstall_alloc_hooks",
 ]

@@ -40,11 +40,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
-try:  # resource is POSIX-only; RSS sampling degrades gracefully without it.
-    import resource
-except ImportError:  # pragma: no cover - non-POSIX platforms
-    resource = None  # type: ignore[assignment]
-
+from .rss import current_rss_bytes as _rss_bytes
 from .sinks import EventSink, NullSink
 
 #: Schema tag stamped into ``sweep_start`` events (and the live.jsonl docs).
@@ -53,24 +49,6 @@ LIVE_SCHEMA = "repro.telemetry.live/v1"
 #: Cell-finish statuses the monitor distinguishes beyond the pool's own
 #: terminal set: a failed attempt that will run again reports RETRYING.
 RETRYING = "retrying"
-
-
-def _rss_bytes() -> int:
-    """Current (not peak) RSS of this process in bytes; 0 if unknown.
-
-    Reads ``/proc/self/statm`` on Linux — the second field is resident
-    pages — and falls back to the peak-RSS rusage counter elsewhere, so
-    the sampled series is monotone-peak rather than instantaneous there.
-    """
-    try:
-        with open("/proc/self/statm", "rb") as handle:
-            pages = int(handle.read().split()[1])
-        return pages * os.sysconf("SC_PAGE_SIZE")
-    except (OSError, ValueError, IndexError):
-        pass
-    if resource is not None:
-        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
-    return 0  # pragma: no cover - non-POSIX without /proc
 
 
 # ======================================================================

@@ -45,9 +45,13 @@ PathLike = Union[str, Path]
 #: artifacts; v4 (PR 7) added the ``artifacts`` block — resume mode and
 #: artifact-store hit/miss/store accounting, deliberately outside the
 #: config fingerprint (serving cells from the store must not change
-#: *what* was measured). Older lines (no such keys) still load —
+#: *what* was measured); v5 (PR 8) added the ``memory`` block — the
+#: allocation ledger's peak/live accounting, peak attribution, and the
+#: DeviceModel-vs-ledger-vs-RSS accounting-coverage ratios, also outside
+#: the fingerprint (how memory was *observed* must not change what was
+#: measured). Older lines (no such keys) still load —
 #: :meth:`RunRecord.from_dict` fills the serial/None/empty defaults.
-REGISTRY_SCHEMA = "repro.telemetry.registry/v4"
+REGISTRY_SCHEMA = "repro.telemetry.registry/v5"
 
 #: File name of the append-only index inside the registry directory.
 REGISTRY_FILENAME = "runs.jsonl"
@@ -136,6 +140,15 @@ class RunRecord:
     #: (hit/miss/stored/...). Outside the config fingerprint by design —
     #: a resumed run and a fresh run of one config share a fingerprint.
     artifacts: Dict = field(default_factory=dict)
+    #: Memory observatory block (schema v5; empty for pre-v5 records and
+    #: runs without telemetry): the allocation ledger summary
+    #: (:func:`repro.telemetry.memory.memory_block`) — accounted
+    #: peak/live/total bytes, per-path and per-op peak attribution, top
+    #: allocations — plus the DeviceModel peak and the accounting
+    #: coverage ratios (ledger vs measured RSS, device vs ledger). The
+    #: memory regression thresholds (``memory.peak_bytes`` …) gate these
+    #: fields. Outside the config fingerprint by design.
+    memory: Dict = field(default_factory=dict)
 
     def to_dict(self) -> Dict:
         return dataclasses.asdict(self)
@@ -159,6 +172,7 @@ def build_record(
     live_path: Optional[PathLike] = None,
     chrome_trace_path: Optional[PathLike] = None,
     artifacts: Optional[Mapping] = None,
+    memory: Optional[Mapping] = None,
 ) -> RunRecord:
     """Assemble a :class:`RunRecord` from a manifest plus run snapshots.
 
@@ -170,7 +184,9 @@ def build_record(
     ``live_path``/``chrome_trace_path`` point at the live event stream
     and the exported Chrome trace of a monitored sweep (schema v3).
     ``artifacts`` is the resumable-sweep block (schema v4): resume mode,
-    store directory, and artifact-store traffic.
+    store directory, and artifact-store traffic. ``memory`` is the
+    memory-observatory block (schema v5): the allocation ledger summary
+    with peak attribution and accounting-coverage ratios.
     """
     timestamp = time.time() if timestamp is None else float(timestamp)
     fingerprint = config_fingerprint(manifest)
@@ -197,6 +213,7 @@ def build_record(
         chrome_trace_path=(str(chrome_trace_path)
                            if chrome_trace_path is not None else None),
         artifacts=dict(artifacts or {}),
+        memory=dict(memory or {}),
     )
 
 
@@ -379,10 +396,12 @@ def record_run(
 ) -> RunRecord:
     """One-call indexing: fold a finished run's artifacts into the registry.
 
-    Extracts the final metrics snapshot and the per-stage span aggregate
-    from ``events`` (unless ``metrics`` is given explicitly), builds the
+    Extracts the final metrics snapshot, the per-stage span aggregate, and
+    the memory-observatory block (ledger summary + coverage ratios) from
+    ``events`` (unless ``metrics`` is given explicitly), builds the
     record, and appends it to the registry at ``registry_dir``.
     """
+    from .memory import memory_block
     from .report import aggregate_spans
 
     if metrics is None:
@@ -402,6 +421,7 @@ def record_run(
         live_path=live_path,
         chrome_trace_path=chrome_trace_path,
         artifacts=artifacts,
+        memory=memory_block(events, metrics),
     )
     RunRegistry(registry_dir).append(record)
     return record

@@ -14,6 +14,8 @@ every stage::
     Threshold("stages.*.seconds", max_rel_increase=0.75, ignore_below=0.02)
     Threshold("stages.*.ram_delta_bytes", max_rel_increase=0.5,
               ignore_below=64 * 2**20)
+    Threshold("memory.peak_bytes", max_rel_increase=0.5,
+              ignore_below=16 * 2**20)
     Threshold("summary.mean", min_value=0.6)
 
 Thresholds are plain data and round-trip through JSON
@@ -91,18 +93,27 @@ class Verdict:
 
 
 def default_thresholds() -> List[Threshold]:
-    """The stock efficiency gate: stage slowdown + per-stage RAM growth.
+    """The stock gate: stage slowdown, RAM growth, and ledger memory drift.
 
     Stage wall time may grow ≤ 75 % (smoke runs are noisy; a genuine 2×
     slowdown still trips it) and is only judged on stages that took at
     least 20 ms at baseline. Per-stage RAM growth may grow ≤ 50 % once it
-    exceeds 64 MiB.
+    exceeds 64 MiB. The allocation ledger's accounted peak
+    (``memory.peak_bytes``, byte-exact and far less noisy than sampled
+    RSS) may grow ≤ 50 % once it exceeds 16 MiB, and total allocated
+    bytes ≤ 75 % — together the memory axis of the regression gate.
+    Records written before schema v5 have no ``memory`` block, so these
+    rules skip (never fail) on pre-observatory baselines.
     """
     return [
         Threshold("stages.*.seconds", max_rel_increase=0.75,
                   ignore_below=0.02),
         Threshold("stages.*.ram_delta_bytes", max_rel_increase=0.5,
                   ignore_below=64 * 2 ** 20),
+        Threshold("memory.peak_bytes", max_rel_increase=0.5,
+                  ignore_below=16 * 2 ** 20),
+        Threshold("memory.total_alloc_bytes", max_rel_increase=0.75,
+                  ignore_below=16 * 2 ** 20),
     ]
 
 

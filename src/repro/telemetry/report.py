@@ -62,13 +62,16 @@ def _format_bytes(nbytes: float) -> str:
 def aggregate_spans(events: Iterable[Mapping]) -> Dict[str, Dict]:
     """Fold span events into per-name totals, inclusive *and* exclusive.
 
-    Inclusive values (``seconds``, ``alloc_bytes``) count everything that
-    happened while a span was open, children included — the tracer
-    attributes allocation to every open span. The exclusive view
-    (``self_seconds``, ``self_alloc_bytes``) subtracts each span's direct
-    children, attributing cost to the span that actually incurred it;
-    summed over a trace, the exclusive values telescope back to the
-    inclusive totals of the root spans (the property the tests assert).
+    Inclusive values (``seconds``, ``alloc_bytes``, ``mem_bytes``) count
+    everything that happened while a span was open, children included —
+    the tracer attributes allocation to every open span. The exclusive
+    view (``self_seconds``, ``self_alloc_bytes``, ``self_mem_bytes``)
+    subtracts each span's direct children, attributing cost to the span
+    that actually incurred it; summed over a trace, the exclusive values
+    telescope back to the inclusive totals of the root spans (the
+    property the tests assert). ``mem_peak_bytes`` — the allocation
+    ledger's live high-water mark while the span was open — aggregates as
+    a max, not a sum.
 
     Events missing optional fields (a trace written with telemetry only
     partially enabled) are tolerated: spans without a ``name`` are
@@ -80,6 +83,7 @@ def aggregate_spans(events: Iterable[Mapping]) -> Dict[str, Dict]:
     # Per-parent child sums, for the exclusive view.
     child_seconds: Dict[object, float] = {}
     child_bytes: Dict[object, float] = {}
+    child_mem: Dict[object, float] = {}
     for event in spans:
         parent = event.get("parent")
         if parent is None:
@@ -88,15 +92,19 @@ def aggregate_spans(events: Iterable[Mapping]) -> Dict[str, Dict]:
             + float(event.get("duration_s") or 0.0)
         child_bytes[parent] = child_bytes.get(parent, 0.0) \
             + float(event.get("alloc_bytes") or 0)
+        child_mem[parent] = child_mem.get(parent, 0.0) \
+            + float(event.get("mem_bytes") or 0)
     stats: Dict[str, Dict] = {}
     for event in spans:
         entry = stats.setdefault(event["name"], {
             "calls": 0, "seconds": 0.0, "max_seconds": 0.0,
             "self_seconds": 0.0, "alloc_bytes": 0, "self_alloc_bytes": 0,
-            "ram_delta_bytes": 0,
+            "ram_delta_bytes": 0, "mem_bytes": 0, "self_mem_bytes": 0,
+            "mem_peak_bytes": 0,
         })
         duration = float(event.get("duration_s") or 0.0)
         alloc = float(event.get("alloc_bytes") or 0)
+        mem = float(event.get("mem_bytes") or 0)
         span_id = event.get("id")
         entry["calls"] += 1
         entry["seconds"] += duration
@@ -105,6 +113,10 @@ def aggregate_spans(events: Iterable[Mapping]) -> Dict[str, Dict]:
         entry["alloc_bytes"] += alloc
         entry["self_alloc_bytes"] += alloc - child_bytes.get(span_id, 0.0)
         entry["ram_delta_bytes"] += float(event.get("ram_delta_bytes") or 0)
+        entry["mem_bytes"] += mem
+        entry["self_mem_bytes"] += mem - child_mem.get(span_id, 0.0)
+        entry["mem_peak_bytes"] = max(entry["mem_peak_bytes"],
+                                      float(event.get("mem_peak_bytes") or 0))
     return stats
 
 
@@ -175,6 +187,71 @@ def final_metrics(events: Iterable[Mapping]) -> Dict:
             if isinstance(payload, Mapping):
                 snapshot = dict(payload)
     return snapshot
+
+
+def final_memory(events: Iterable[Mapping]) -> Dict:
+    """The last allocation-ledger summary in a trace (``{}`` when absent).
+
+    The ledger emits one ``{"type": "memory", "memory": {...}}`` event at
+    telemetry shutdown (worker shards' summaries having been folded into
+    it); runs recorded before the memory observatory existed simply have
+    none.
+    """
+    summary: Dict = {}
+    for event in events:
+        if event.get("type") == "memory":
+            payload = event.get("memory")
+            if isinstance(payload, Mapping):
+                summary = dict(payload)
+    return summary
+
+
+def render_memory(events: Iterable[Mapping], top: int = 5) -> str:
+    """The memory section: ledger totals, peak attribution, top arrays.
+
+    Renders the accounted live/peak/total bytes, where the high-water
+    mark sat in the span tree and which op families held it, the largest
+    single allocations, and the accounting-coverage view (ledger vs
+    measured RSS, DeviceModel vs ledger when present).
+    """
+    mem = final_memory(events)
+    if not mem:
+        return "-- memory --\n(no allocation ledger recorded)"
+    rows = [
+        ["peak accounted", _format_bytes(mem.get("peak_bytes") or 0)],
+        ["live at shutdown", _format_bytes(mem.get("live_bytes") or 0)],
+        ["total allocated", _format_bytes(mem.get("total_alloc_bytes") or 0)
+         + f"  ({mem.get('alloc_count') or 0:,} arrays)"],
+        ["total freed", _format_bytes(mem.get("total_freed_bytes") or 0)
+         + f"  ({mem.get('free_count') or 0:,} arrays)"],
+        ["rss peak", _format_bytes(mem.get("rss_peak_bytes") or 0)],
+    ]
+    coverage = mem.get("coverage") or {}
+    if coverage.get("ledger_vs_rss") is not None:
+        rows.append(["ledger/rss coverage",
+                     f"{coverage['ledger_vs_rss']:.1%}"])
+    if mem.get("device_peak_bytes"):
+        rows.append(["device peak",
+                     _format_bytes(mem["device_peak_bytes"])])
+    attribution = mem.get("peak_attribution") or {}
+    if attribution.get("path") or attribution.get("op"):
+        rows.append(["peak set by",
+                     f"{attribution.get('op') or '?'} @ "
+                     f"{attribution.get('path') or '(top)'}"])
+    holders = attribution.get("live_by_path") or {}
+    for path, nbytes in sorted(holders.items(),
+                               key=lambda kv: -kv[1])[:top]:
+        rows.append([f"  at peak: {path}", _format_bytes(nbytes)])
+    sections = [_table(["memory", "value"], rows, "allocation ledger")]
+    top_allocs = mem.get("top_allocations") or []
+    if top_allocs:
+        alloc_rows = [[_format_bytes(e.get("nbytes") or 0),
+                       str(e.get("op") or "?"),
+                       str(e.get("path") or "(top)")]
+                      for e in top_allocs[:top]]
+        sections.append(_table(["size", "op", "span path"], alloc_rows,
+                               "largest allocations"))
+    return "\n\n".join(sections)
 
 
 def render_counters(events: Iterable[Mapping],
@@ -277,10 +354,16 @@ def render_run_diff(baseline_events: Sequence[Mapping],
 def render_trace_report(events: Sequence[Mapping],
                         metrics: Optional[Mapping] = None,
                         top: int = 10) -> str:
-    """Full report: top spans + per-epoch sparklines + op counters."""
+    """Full report: top spans, per-epoch sparklines, memory, op counters.
+
+    The memory section appears only when the trace carries an allocation
+    ledger summary, so reports over pre-observatory traces are unchanged.
+    """
     sections = [
         render_top_spans(events, top=top),
         render_epoch_table(events),
-        render_counters(events, metrics=metrics),
     ]
+    if final_memory(events):
+        sections.append(render_memory(events))
+    sections.append(render_counters(events, metrics=metrics))
     return "\n\n".join(sections)

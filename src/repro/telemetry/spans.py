@@ -4,8 +4,10 @@ A *span* is one timed region of the pipeline — a precompute stage, one
 training epoch, a single forward pass — opened as a context manager and
 nested freely. Each closed span becomes one event on the run's sink,
 carrying wall time, parent linkage, the bytes the autodiff engine
-allocated while it was open, and the host peak-RSS growth observed across
-it. The paper's stage tables (Figure 2, Tables 9–11) are aggregations of
+allocated while it was open, the signed change in current host RSS across
+it (see :mod:`repro.telemetry.rss`), and — when the allocation ledger is
+installed — the ledger-accounted bytes and live-memory high-water mark.
+The paper's stage tables (Figure 2, Tables 9–11) are aggregations of
 exactly these records; :class:`repro.runtime.profiler.StageProfiler` can
 be rebuilt as a view over a span stream via ``StageProfiler.from_events``.
 
@@ -21,22 +23,9 @@ import threading
 import time
 from typing import Dict, List, Optional
 
-try:  # resource is POSIX-only; telemetry degrades gracefully without it.
-    import resource
-except ImportError:  # pragma: no cover - non-POSIX platforms
-    resource = None  # type: ignore[assignment]
-
 from .metrics import MetricsRegistry
+from .rss import current_rss_bytes
 from .sinks import EventSink, NullSink
-
-
-def _peak_rss_bytes() -> int:
-    """Process peak RSS in bytes (0 where unavailable)."""
-    if resource is None:  # pragma: no cover - non-POSIX platforms
-        return 0
-    # ru_maxrss is KiB on Linux, bytes on macOS; normalize to bytes
-    # assuming the Linux convention (this repo's benchmarks run on Linux).
-    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
 
 
 class _NoopSpan:
@@ -68,7 +57,7 @@ class Span:
 
     __slots__ = ("tracer", "name", "span_id", "parent_id", "depth", "attrs",
                  "start_s", "duration_s", "alloc_bytes", "ram_delta_bytes",
-                 "_rss_at_open", "_thread")
+                 "mem_bytes", "mem_peak_bytes", "_rss_at_open", "_thread")
 
     def __init__(self, tracer: "Tracer", name: str, span_id: int,
                  parent_id: Optional[int], depth: int, attrs: Dict):
@@ -82,6 +71,11 @@ class Span:
         self.duration_s = 0.0
         self.alloc_bytes = 0
         self.ram_delta_bytes = 0
+        #: Ledger-accounted engine allocations while open (inclusive; fed
+        #: by the allocation-ledger hook, zero when no ledger installed).
+        self.mem_bytes = 0
+        #: High-water mark of the ledger's live bytes while open.
+        self.mem_peak_bytes = 0
         self._rss_at_open = 0
         self._thread = ""
 
@@ -93,13 +87,17 @@ class Span:
     def __enter__(self) -> "Span":
         self._thread = threading.current_thread().name
         self.tracer._push(self)
-        self._rss_at_open = _peak_rss_bytes()
+        self._rss_at_open = current_rss_bytes()
         self.start_s = time.perf_counter() - self.tracer.epoch_s
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         self.duration_s = time.perf_counter() - self.tracer.epoch_s - self.start_s
-        self.ram_delta_bytes = max(0, _peak_rss_bytes() - self._rss_at_open)
+        # Signed current-RSS delta (see repro.telemetry.rss): negative when
+        # the span net-freed resident memory. Historically this was the
+        # growth of the monotone process peak, which reported 0 for every
+        # span after the high-water mark.
+        self.ram_delta_bytes = current_rss_bytes() - self._rss_at_open
         if exc_type is not None:
             self.attrs.setdefault("error", exc_type.__name__)
         self.tracer._pop(self)
@@ -118,6 +116,8 @@ class Span:
             "duration_s": self.duration_s,
             "alloc_bytes": self.alloc_bytes,
             "ram_delta_bytes": self.ram_delta_bytes,
+            "mem_bytes": self.mem_bytes,
+            "mem_peak_bytes": self.mem_peak_bytes,
             "attrs": dict(self.attrs),
         }
 
@@ -204,6 +204,26 @@ class Tracer:
         """Attribute engine-allocated bytes to every open span (inclusive)."""
         for span in self._stack():
             span.alloc_bytes += nbytes
+
+    def add_mem_bytes(self, nbytes: int, live_bytes: int) -> None:
+        """Attribute one ledger-accounted allocation to every open span.
+
+        ``mem_bytes`` accumulates inclusively (every open span sees the
+        allocation, like :meth:`add_alloc_bytes`), so the exclusive view
+        computed by :func:`repro.telemetry.report.aggregate_spans`
+        telescopes back to the root spans' inclusive totals.
+        ``mem_peak_bytes`` tracks the ledger's live high-water mark while
+        the span was open.
+        """
+        for span in self._stack():
+            span.mem_bytes += nbytes
+            if live_bytes > span.mem_peak_bytes:
+                span.mem_peak_bytes = live_bytes
+
+    def current_path(self) -> str:
+        """The open span-tree path on this thread (``"a/b/c"``; ``""`` at
+        top level) — the allocation ledger's attribution key."""
+        return "/".join(span.name for span in self._stack())
 
     def emit_event(self, event_type: str, **fields) -> None:
         """Record a free-form event tagged with the current span context."""

@@ -12,7 +12,13 @@ https://ui.perfetto.dev and ``chrome://tracing`` open directly):
 - a **scheduler track** (``tid`` 0) with parent-side spans, cell-launch
   markers, and global stall instants;
 - an **RSS counter track** (``ph: "C"``, name ``rss``) with one series
-  per worker, fed by the sampled watermarks — the memory timeline.
+  per worker, fed by the sampled watermarks — the *measured* memory
+  timeline;
+- a **ledger live-bytes counter track** (``ph: "C"``, name
+  ``ledger_live``) from the allocation ledger's throttled samples
+  (``--mem-trace``), carried in the trace's final ``memory`` event — the
+  *accounted* memory timeline, so Perfetto shows accounted vs measured
+  memory side by side.
 
 Timestamps: live events carry wall-clock ``t`` seconds (comparable
 across processes on one host); span events carry ``t_start_s`` relative
@@ -65,15 +71,34 @@ def _cell_starts(live_events: Sequence[Mapping]) -> Dict[tuple, Mapping]:
     return starts
 
 
+def _memory_samples(events: Sequence[Mapping]) -> List[tuple]:
+    """``(wall_t, live_bytes)`` ledger samples from the trace's final
+    ``memory`` event (present when the run used ``--mem-trace``)."""
+    samples: List[tuple] = []
+    for event in events:
+        if event.get("type") != "memory":
+            continue
+        payload = event.get("memory")
+        if not isinstance(payload, Mapping):
+            continue
+        samples = [(float(s[0]), float(s[1]))
+                   for s in payload.get("samples") or ()
+                   if isinstance(s, (list, tuple)) and len(s) == 2]
+    return samples
+
+
 def chrome_trace_events(live_events: Sequence[Mapping],
                         span_events: Iterable[Mapping] = (),
                         span_epoch_wall: Optional[float] = None,
                         ) -> List[Dict]:
     """Build the ``traceEvents`` list from live + span event streams."""
+    span_events = list(span_events)
+    memory_samples = _memory_samples(span_events)
     live_events = [e for e in live_events if isinstance(e.get("t"),
                                                         (int, float))]
     span_events = [e for e in span_events if e.get("type") == "span"]
     times = [float(e["t"]) for e in live_events]
+    times.extend(t for t, _ in memory_samples)
     if span_epoch_wall is not None:
         times.append(float(span_epoch_wall))
     t0 = min(times) if times else 0.0
@@ -146,6 +171,13 @@ def chrome_trace_events(live_events: Sequence[Mapping],
                         "args": {k: v for k, v in event.items()
                                  if k not in ("type", "t")}})
 
+    # -- ledger live-bytes counter track (accounted memory) ----------------
+    for wall_t, live in memory_samples:
+        out.append({"name": "ledger_live", "ph": "C",
+                    "ts": _us(wall_t, t0), "pid": TRACE_PID,
+                    "tid": SCHEDULER_TID,
+                    "args": {"MiB": round(live / 2 ** 20, 2)}})
+
     # -- span tree ---------------------------------------------------------
     # A folded worker span carries attrs.shard == its cell label and
     # t_start_s relative to the *worker's* tracer epoch, which coincides
@@ -174,6 +206,7 @@ def chrome_trace_events(live_events: Sequence[Mapping],
                     "dur": max(1, int(round(duration * 1e6))),
                     "pid": TRACE_PID, "tid": tid,
                     "args": {"alloc_bytes": event.get("alloc_bytes"),
+                             "mem_bytes": event.get("mem_bytes"),
                              **{k: v for k, v in attrs.items()}}})
     out.sort(key=lambda e: (e.get("ts", 0), e.get("tid", 0)))
     return out

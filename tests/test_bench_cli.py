@@ -313,7 +313,7 @@ class TestResumeCli:
         fresh_rec, resume_rec = RunRegistry(tmp_path / "reg").load()
         assert fresh_rec.config_fingerprint == resume_rec.config_fingerprint, \
             "resume mode must stay outside the config fingerprint"
-        assert fresh_rec.schema.endswith("/v4")
+        assert fresh_rec.schema.endswith("/v5")
         assert fresh_rec.artifacts["mode"] == "fresh"
         assert fresh_rec.artifacts["stored"] == 1
         assert resume_rec.artifacts["mode"] == "resume"

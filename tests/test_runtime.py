@@ -123,6 +123,68 @@ class TestDeviceModel:
         assert device.peak_bytes == 100
 
 
+class TestDeviceModelEdgeCases:
+    def test_free_unregistered_clamps_at_zero(self):
+        """Freeing an object never registered must not drive residency
+        negative (and so corrupt every later peak computation)."""
+        device = DeviceModel()
+        device.free(np.zeros(100, dtype=np.float32))
+        assert device.persistent_bytes == 0
+        device.to_device(400)
+        device.free(1000)  # over-free: clamps, not -600
+        assert device.persistent_bytes == 0
+        with device.step():
+            Tensor(np.zeros(200, dtype=np.float32))  # 800 B transient
+        # A -600 B residency would hide this step under the old 400 B
+        # peak; the clamp keeps transient accounting honest.
+        assert device.peak_bytes == 800
+
+    def test_step_reentry_outer_keeps_metering_after_inner_exit(self):
+        """An inner (re-entrant) step is a flat no-op: its exit must not
+        tear down the outer step's metering."""
+        device = DeviceModel()
+        with device.step():
+            with device.step():
+                pass
+            Tensor(np.zeros(25, dtype=np.float32))  # after inner exit
+        assert device.peak_bytes == 100
+
+    def test_nbytes_of_coo_counts_converted_csr(self):
+        """Sparse sizes are quoted in CSR terms regardless of input
+        format — the format the compute path actually holds resident."""
+        m = sp.random(50, 40, density=0.1, format="coo", random_state=7)
+        csr = m.tocsr()
+        expected = csr.data.nbytes + csr.indices.nbytes + csr.indptr.nbytes
+        assert nbytes_of(m) == expected
+        assert nbytes_of(m.tocsc()) == expected
+
+    def test_oom_mid_step_removes_only_device_hook(self):
+        """A simulated OOM unwinds the device's own subscription but must
+        leave sibling subscribers (e.g. the allocation ledger) installed."""
+        from repro.autodiff.tensor import (
+            add_allocation_hook,
+            remove_allocation_hook,
+        )
+
+        seen = []
+
+        def sibling(nbytes, array, op):
+            seen.append(nbytes)
+
+        add_allocation_hook(sibling)
+        try:
+            device = DeviceModel(capacity_bytes=150)
+            with pytest.raises(DeviceOOMError):
+                with device.step():
+                    Tensor(np.zeros(100, dtype=np.float32))
+            before = device.peak_bytes
+            Tensor(np.zeros(100, dtype=np.float32))
+            assert device.peak_bytes == before  # device hook gone…
+            assert seen == [400, 400]           # …sibling still subscribed
+        finally:
+            remove_allocation_hook(sibling)
+
+
 class TestStageProfiler:
     def test_stage_timing_accumulates(self):
         profiler = StageProfiler()
