@@ -1,35 +1,47 @@
-"""Serial ≡ parallel determinism gate for the process-pool sweep executor.
+"""Serial ≡ parallel determinism gate — now with the planner ON.
 
-Runs one small efficiency sweep (2 datasets × 2 filters × 1 scheme = 4
-grid cells) twice through the real CLI — once serial (``--workers 1``,
-the exact historical code path) and once fanned out to a process pool
-(``--workers 4``, one cell per worker) — and holds the pool executor
-(:mod:`repro.runtime.pool`) to its contract:
+Runs one small efficiency sweep (2 datasets × 3 chain-sharing filters ×
+1 scheme = 6 grid cells) three times through the real CLI:
+
+- ``--workers 1`` — serial, the planner shares basis chains across
+  cells in-process (the historical best case);
+- ``--workers 4`` — pooled with the cross-process shared term store
+  (:mod:`repro.runtime.shm`, on by default for pooled sweeps);
+- ``--workers 4 --no-shared-terms`` — pooled with per-worker
+  recomputation, the pre-shm baseline that quantifies the gap.
+
+and holds the executor + store to their joint contract:
 
 - **payload determinism**: after stripping execution-dependent fields
-  (wall times, RSS peaks, file paths, timestamps —
-  :func:`repro.bench.io.canonical_rows`), the two result files are
-  *byte-identical*. Cell seeds are derived from grid coordinates and
-  results are reassembled in grid order, so worker scheduling must not
-  be able to perturb a single result bit.
-- **counter determinism**: the schedule-invariant telemetry counters
-  (``ops.{matmul,spmm,ewise}.{calls,flops,bytes}`` plus
-  ``pool.cells.ok`` — :func:`repro.bench.io.deterministic_counters`)
-  folded in from the worker shards match the serial totals exactly and
-  are non-trivial (``ops.spmm.calls > 0``). Cache-traffic counters are
-  deliberately out of scope: per-process memos hit/miss differently
-  across worker counts without affecting results.
-- **registry annotation**: both runs share one config fingerprint
-  (``workers`` is execution strategy, not configuration) while their
-  records carry ``workers``/``pool`` fields telling the two modes apart.
+  (:func:`repro.bench.io.canonical_rows`), all three result files are
+  *byte-identical*. Shared-memory term views must be bit-equal to
+  locally computed chains — worker scheduling and claim adoption can
+  never perturb a result bit.
+- **schedule-invariant counters**: ``ops.{matmul,ewise}.*`` and
+  ``pool.cells.ok`` match exactly across all three runs. ``ops.spmm.*``
+  is *schedule-variant* with the planner on (serial sweeps share chains
+  across cells; isolated workers cannot), so it gets a ratio gate
+  instead:
+- **spmm ratio**: the shared-store pooled run's ``ops.spmm.calls`` must
+  come in at ≤ ``SPMM_RATIO_LIMIT`` × the serial count (the store
+  actually closes the cross-worker gap), while the ``--no-shared-terms``
+  baseline must sit *above* that limit (the gate is not vacuous —
+  filters ppr/hk/monomial share one monomial chain per dataset, so the
+  unshared pool pays for it once per worker).
+- **registry annotation**: all three runs share one config fingerprint
+  (workers/shared-terms are execution strategy, not configuration)
+  while the pooled records' ``pool.shared_terms`` flag tells the two
+  pool modes apart.
 
-The normalized payloads and the counter table are persisted under
+The normalized payloads, the counter table, and a ``counter_delta.json``
+report (per-mode counters + both spmm ratios) are persisted under
 ``benchmarks/results/parallel_smoke/`` so the ``bench-parallel`` CI job
 can upload them as artifacts for post-mortem diffing.
 """
 
 from __future__ import annotations
 
+import json
 import shutil
 
 from repro.bench.__main__ import main as bench_main
@@ -40,22 +52,27 @@ from .conftest import RESULTS_DIR, emit, env_epochs, run_once
 
 EPOCHS_DEFAULT = 3
 PARALLEL_DIR = RESULTS_DIR / "parallel_smoke"
-WORKER_COUNTS = (1, 4)
-GRID_CELLS = 4  # 2 datasets x 2 filters x 1 scheme
+GRID_CELLS = 6  # 2 datasets x 3 filters x 1 scheme
+#: Pooled-with-store ops.spmm.calls must stay within this factor of the
+#: serial count (ISSUE 9 acceptance criterion).
+SPMM_RATIO_LIMIT = 1.25
+
+#: label -> extra CLI flags; run order is registry record order.
+RUN_MODES = (
+    ("serial", ["--workers", "1"]),
+    ("pooled_shared", ["--workers", "4"]),
+    ("pooled_unshared", ["--workers", "4", "--no-shared-terms"]),
+)
 
 
-def _one_cli_run(workers: int, epochs: int) -> int:
-    # --no-plan: the basis planner shares chains across cells in serial
-    # mode but per-cell in workers, so ops.spmm.calls parity between
-    # worker counts only holds (and is only meaningful) unplanned. The
-    # planner's own serial-vs-planned gate is bench_plan_smoke.py.
+def _one_cli_run(label: str, flags: list, epochs: int) -> int:
     return bench_main([
         "efficiency", "--datasets", "cora", "citeseer",
-        "--filters", "ppr", "chebyshev", "--schemes", "mini_batch",
-        "--epochs", str(epochs), "--workers", str(workers), "--no-plan",
+        "--filters", "ppr", "hk", "monomial", "--schemes", "mini_batch",
+        "--epochs", str(epochs), *flags,
         "--registry-dir", str(PARALLEL_DIR),
-        "--output", str(PARALLEL_DIR / f"w{workers}.json"),
-        "--trace", str(PARALLEL_DIR / f"w{workers}.jsonl"),
+        "--output", str(PARALLEL_DIR / f"{label}.json"),
+        "--trace", str(PARALLEL_DIR / f"{label}.jsonl"),
     ])
 
 
@@ -64,27 +81,44 @@ def _parallel_smoke(epochs: int) -> dict:
         shutil.rmtree(PARALLEL_DIR)
     PARALLEL_DIR.mkdir(parents=True)
 
-    exit_codes = {w: _one_cli_run(w, epochs) for w in WORKER_COUNTS}
-
-    payloads = {}
-    for workers in WORKER_COUNTS:
-        payload = canonical_payload(load_rows(PARALLEL_DIR / f"w{workers}.json"))
-        payloads[workers] = payload
-        (PARALLEL_DIR / f"payload_w{workers}.json").write_bytes(payload)
+    exit_codes, payloads = {}, {}
+    for label, flags in RUN_MODES:
+        exit_codes[label] = _one_cli_run(label, flags, epochs)
+        payload = canonical_payload(load_rows(PARALLEL_DIR / f"{label}.json"))
+        payloads[label] = payload
+        (PARALLEL_DIR / f"payload_{label}.json").write_bytes(payload)
 
     registry = RunRegistry(PARALLEL_DIR)
-    records = {record.workers: record for record in registry.load()}
+    loaded = registry.load()
+    records = dict(zip((label for label, _ in RUN_MODES), loaded))
     counters = {
-        workers: deterministic_counters(
-            records[workers].metrics.get("counters", {}))
-        for workers in WORKER_COUNTS
+        label: deterministic_counters(record.metrics.get("counters", {}))
+        for label, record in records.items()
     }
+
+    serial_spmm = counters["serial"].get("ops.spmm.calls", 0)
+    delta = {
+        "grid_cells": GRID_CELLS,
+        "spmm_ratio_limit": SPMM_RATIO_LIMIT,
+        "counters": counters,
+        "spmm_ratio_shared": (
+            counters["pooled_shared"].get("ops.spmm.calls", 0) / serial_spmm
+            if serial_spmm else None),
+        "spmm_ratio_unshared": (
+            counters["pooled_unshared"].get("ops.spmm.calls", 0) / serial_spmm
+            if serial_spmm else None),
+        "shm": (records["pooled_shared"].pool or {}).get("shm"),
+    }
+    (PARALLEL_DIR / "counter_delta.json").write_text(
+        json.dumps(delta, indent=2, sort_keys=True))
 
     return {
         "exit_codes": exit_codes,
         "payloads": payloads,
         "records": records,
         "counters": counters,
+        "delta": delta,
+        "record_count": len(loaded),
         "corrupt_lines": registry.corrupt_lines,
     }
 
@@ -92,40 +126,74 @@ def _parallel_smoke(epochs: int) -> dict:
 def test_parallel_smoke_gate(benchmark):
     epochs = env_epochs(EPOCHS_DEFAULT)
     report = run_once(benchmark, _parallel_smoke, epochs)
-    serial, pooled = WORKER_COUNTS
+    labels = [label for label, _ in RUN_MODES]
+    counters = report["counters"]
 
     emit([{"counter": name,
-           **{f"workers_{w}": report["counters"][w].get(name)
-              for w in WORKER_COUNTS}}
-          for name in sorted(report["counters"][serial])],
-         title="schedule-invariant counters, serial vs pooled")
+           **{label: counters[label].get(name) for label in labels}}
+          for name in sorted(counters["serial"])],
+         title="deterministic counters, serial vs pooled shared/unshared")
 
-    # Both CLI invocations completed and were indexed cleanly.
-    assert report["exit_codes"] == {w: 0 for w in WORKER_COUNTS}
+    # All three CLI invocations completed and were indexed cleanly.
+    assert report["exit_codes"] == {label: 0 for label in labels}
     assert report["corrupt_lines"] == 0
-    assert set(report["records"]) == set(WORKER_COUNTS), \
-        "expected one registry record per worker count"
+    assert report["record_count"] == len(labels), \
+        "expected one registry record per run mode"
 
     # --- payload determinism: byte-identical after normalization.
-    assert report["payloads"][serial], "serial run produced an empty payload"
-    assert report["payloads"][serial] == report["payloads"][pooled], (
-        "serial and parallel sweeps diverged after normalization; diff "
-        f"{PARALLEL_DIR / f'payload_w{serial}.json'} against "
-        f"{PARALLEL_DIR / f'payload_w{pooled}.json'}")
+    assert report["payloads"]["serial"], \
+        "serial run produced an empty payload"
+    for label in labels[1:]:
+        assert report["payloads"]["serial"] == report["payloads"][label], (
+            f"serial and {label} sweeps diverged after normalization; diff "
+            f"{PARALLEL_DIR / 'payload_serial.json'} against "
+            f"{PARALLEL_DIR / f'payload_{label}.json'}")
 
-    # --- counter determinism: folded worker shards == serial totals.
-    assert report["counters"][serial] == report["counters"][pooled], \
-        "merged op counters drifted between serial and pooled execution"
-    assert report["counters"][serial].get("ops.spmm.calls", 0) > 0, \
-        "determinism gate is vacuous: no spmm ops were counted"
-    assert report["counters"][serial].get("pool.cells.ok") == GRID_CELLS
+    # --- schedule-invariant counters: exact across every mode.
+    def invariant(label):
+        return {name: value for name, value in counters[label].items()
+                if not name.startswith("ops.spmm.")}
 
-    # --- registry annotation: one config, two execution strategies.
-    serial_record, pooled_record = (report["records"][serial],
-                                    report["records"][pooled])
-    assert (serial_record.config_fingerprint
-            == pooled_record.config_fingerprint), \
-        "worker count leaked into the config fingerprint"
-    assert serial_record.workers == serial
-    assert pooled_record.workers == pooled
-    assert pooled_record.pool.get("workers") == pooled
+    for label in labels[1:]:
+        assert invariant("serial") == invariant(label), \
+            f"schedule-invariant counters drifted between serial and {label}"
+    assert counters["serial"].get("ops.matmul.calls", 0) > 0, \
+        "determinism gate is vacuous: no matmul ops were counted"
+    assert counters["serial"].get("pool.cells.ok") == GRID_CELLS
+
+    # --- spmm ratio: the shared store closes the cross-worker gap.
+    serial_spmm = counters["serial"].get("ops.spmm.calls", 0)
+    assert serial_spmm > 0, "spmm ratio gate is vacuous: no spmm counted"
+    ratio_shared = report["delta"]["spmm_ratio_shared"]
+    ratio_unshared = report["delta"]["spmm_ratio_unshared"]
+    assert ratio_shared <= SPMM_RATIO_LIMIT, (
+        f"pooled ops.spmm.calls is {ratio_shared:.2f}x serial with the "
+        f"shared term store on (limit {SPMM_RATIO_LIMIT}x); see "
+        f"{PARALLEL_DIR / 'counter_delta.json'}")
+    assert ratio_unshared > SPMM_RATIO_LIMIT, (
+        "the --no-shared-terms baseline no longer exceeds the ratio "
+        "limit; the smoke slice stopped exercising cross-worker chain "
+        "sharing and the gate above is vacuous")
+
+    # --- the store actually served terms in the shared pooled run.
+    shared_counters = (report["records"]["pooled_shared"]
+                       .metrics.get("counters", {}))
+    assert shared_counters.get("shm.terms.hit", 0) > 0, \
+        "shared run served no terms from the cross-process store"
+    assert shared_counters.get("shm.terms.publish", 0) > 0, \
+        "shared run published no terms to the cross-process store"
+
+    # --- registry annotation: one config, three execution strategies.
+    fingerprints = {record.config_fingerprint
+                    for record in report["records"].values()}
+    assert len(fingerprints) == 1, \
+        "workers/shared-terms leaked into the config fingerprint"
+    assert report["records"]["serial"].workers == 1
+    for label in labels[1:]:
+        assert report["records"][label].workers == 4
+    assert report["records"]["pooled_shared"].pool.get("shared_terms") is True
+    assert (report["records"]["pooled_unshared"].pool.get("shared_terms")
+            is False)
+    shm_block = report["records"]["pooled_shared"].pool.get("shm") or {}
+    assert shm_block.get("segments_unlinked", 0) > 0, \
+        "store scope exit unlinked no segments"

@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Nightly driver: slow suite, every bench smoke gate, cross-night gate.
+
+Runs the full second-tier battery back-to-back in one process tree so the
+scheduled ``nightly`` workflow (and anyone locally) needs exactly one
+entry point::
+
+    python benchmarks/run_nightly.py --registry-dir /tmp/nightly
+
+Steps, in order:
+
+1. the slow-marker integration suite (``pytest tests -m slow``) —
+   skippable with ``--skip-slow`` for local iteration;
+2. every ``benchmarks/bench_*_smoke.py`` CI gate, discovered by glob so
+   new gates are picked up without touching this driver;
+3. a pinned nightly efficiency sweep through the real CLI, recorded into
+   one *persistent* registry directory (the workflow restores/saves it
+   with ``actions/cache``, so records accumulate across nights);
+4. ``python -m repro.bench compare --registry efficiency --gate`` over
+   that registry — the two most recent nightly records are diffed and
+   the pinned thresholds (``benchmarks/thresholds/efficiency.json``)
+   must pass. The first night (a single record) skips the gate with a
+   note instead of failing.
+
+Every step's exit code and duration land in ``nightly_report.json``
+inside the registry dir; the driver exits non-zero if any step failed.
+All child processes run with ``src`` prepended to ``PYTHONPATH``, so no
+environment setup is needed beyond a working interpreter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO_ROOT / "benchmarks"
+DEFAULT_REGISTRY = BENCH_DIR / "results" / "nightly_registry"
+
+#: The cross-night sweep. The slice must stay constant between nights —
+#: the regression gate diffs consecutive registry records of one config
+#: fingerprint, and a slice change starts a fresh comparison lineage.
+NIGHTLY_SWEEP = [
+    "efficiency", "--datasets", "cora", "citeseer",
+    "--filters", "ppr", "hk", "monomial", "--schemes", "mini_batch",
+    "--workers", "4",
+]
+
+
+def _child_env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    extra = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not extra else f"{src}{os.pathsep}{extra}"
+    return env
+
+
+def _record_count(registry_dir: Path) -> int:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.telemetry.registry import RunRegistry
+        return len(RunRegistry(registry_dir).load())
+    except Exception:
+        return 0
+    finally:
+        sys.path.pop(0)
+
+
+def _run(name: str, argv: list, results: list) -> int:
+    print(f"== nightly step: {name}\n   $ {' '.join(argv)}", flush=True)
+    start = time.monotonic()
+    code = subprocess.call(argv, cwd=REPO_ROOT, env=_child_env())
+    elapsed = round(time.monotonic() - start, 2)
+    print(f"== nightly step: {name} -> exit {code} in {elapsed}s", flush=True)
+    results.append({"step": name, "exit_code": code, "seconds": elapsed})
+    return code
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the nightly battery: slow suite + bench gates + "
+                    "cross-night regression gate.")
+    parser.add_argument(
+        "--registry-dir", default=str(DEFAULT_REGISTRY), metavar="DIR",
+        help="persistent registry the nightly sweeps accumulate in "
+             "(default: %(default)s)")
+    parser.add_argument(
+        "--epochs", type=int, default=3,
+        help="epochs for the nightly sweep (default: %(default)s; must "
+             "stay constant across nights for the gate to be comparable)")
+    parser.add_argument(
+        "--skip-slow", action="store_true",
+        help="skip the slow-marker suite (local iteration)")
+    args = parser.parse_args(argv)
+
+    registry_dir = Path(args.registry_dir).resolve()
+    registry_dir.mkdir(parents=True, exist_ok=True)
+    python = sys.executable
+    results: list = []
+
+    if args.skip_slow:
+        results.append({"step": "slow-suite", "exit_code": None,
+                        "seconds": 0.0, "skipped": "--skip-slow"})
+    else:
+        _run("slow-suite",
+             [python, "-m", "pytest", "tests", "-q", "-m", "slow"], results)
+
+    gates = sorted(BENCH_DIR.glob("bench_*_smoke.py"))
+    if not gates:
+        print("== nightly: no bench_*_smoke.py gates found", flush=True)
+        results.append({"step": "bench-gates", "exit_code": 1,
+                        "seconds": 0.0})
+    for gate in gates:
+        name = gate.stem.removeprefix("bench_").removesuffix("_smoke")
+        _run(f"bench-{name}",
+             [python, "-m", "pytest", str(gate), "-x", "-q"], results)
+
+    before = _record_count(registry_dir)
+    sweep_ok = _run(
+        "nightly-sweep",
+        [python, "-m", "repro.bench", *NIGHTLY_SWEEP,
+         "--epochs", str(args.epochs),
+         "--registry-dir", str(registry_dir),
+         "--output", str(registry_dir / "nightly_sweep.json"),
+         "--trace", str(registry_dir / "nightly_sweep.jsonl")],
+        results) == 0
+    after = _record_count(registry_dir)
+
+    if sweep_ok and after >= 2:
+        _run("cross-night-gate",
+             [python, "-m", "repro.bench", "compare",
+              "--registry", "efficiency",
+              "--registry-dir", str(registry_dir), "--gate"], results)
+    else:
+        why = (f"sweep failed" if not sweep_ok
+               else f"{after} registry record(s); needs two nights")
+        print(f"== nightly step: cross-night-gate skipped ({why})",
+              flush=True)
+        results.append({"step": "cross-night-gate", "exit_code": None,
+                        "seconds": 0.0, "skipped": why})
+
+    report = {"registry_dir": str(registry_dir),
+              "records_before": before, "records_after": after,
+              "steps": results}
+    (registry_dir / "nightly_report.json").write_text(
+        json.dumps(report, indent=2))
+
+    print("\n== nightly summary", flush=True)
+    for entry in results:
+        status = ("SKIP" if entry.get("skipped")
+                  else "ok" if entry["exit_code"] == 0 else "FAIL")
+        print(f"   {entry['step']:<20} {status:<5} {entry['seconds']}s",
+              flush=True)
+    failed = [e["step"] for e in results
+              if e["exit_code"] not in (0, None)]
+    if failed:
+        print(f"== nightly FAILED: {', '.join(failed)}", flush=True)
+        return 1
+    print("== nightly passed", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -96,6 +96,7 @@ from .. import telemetry
 from ..runtime import cache as runtime_cache
 from ..runtime import plan as runtime_plan
 from ..runtime import pool as runtime_pool
+from ..runtime import shm as runtime_shm
 from ..runtime.pool import PoolConfig
 from ..training.loop import TrainConfig
 from . import experiments
@@ -214,6 +215,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "(every filter streams its own recurrence; "
                              "the baseline mode for measuring "
                              "plan.spmm_avoided)")
+    shared_group = parser.add_mutually_exclusive_group()
+    shared_group.add_argument(
+        "--shared-terms", action="store_true",
+        help="require the cross-process shared-memory term store: pool "
+             "workers attach planner-served basis chains (and the "
+             "spmm-transpose/normalization CSRs) published by their "
+             "siblings instead of recomputing them (grid sweeps with "
+             "--workers > 1; on by default there — this flag makes a "
+             "silently unavailable store an error)")
+    shared_group.add_argument(
+        "--no-shared-terms", action="store_true",
+        help="disable the shared term store; each pool worker recomputes "
+             "its own chains (the pre-shm baseline for measuring the "
+             "pooled ops.spmm.calls gap)")
     parser.add_argument("--registry-dir", type=str, default=None,
                         metavar="DIR",
                         help="run-registry directory (default: "
@@ -440,6 +455,29 @@ def main(argv=None) -> int:
             parser.error("--root-seed applies to effectiveness only")
         kwargs["root_seed"] = args.root_seed
 
+    if args.shared_terms:
+        if args.experiment not in POOLED_EXPERIMENTS:
+            parser.error(f"--shared-terms applies to the grid sweeps only "
+                         f"({', '.join(POOLED_EXPERIMENTS)})")
+        if args.workers <= 1:
+            parser.error("--shared-terms requires --workers > 1 "
+                         "(a serial sweep already shares chains in-process)")
+        if args.no_cache:
+            parser.error("--shared-terms conflicts with --no-cache "
+                         "(the store is part of the cache layer)")
+        if not runtime_shm.supported():
+            parser.error("--shared-terms requires "
+                         "multiprocessing.shared_memory (POSIX)")
+    # Default: sharing is ON for pooled grid sweeps — the store is what
+    # keeps pooled ops.spmm.calls at serial levels with the planner on.
+    # --no-plan only disables *chain* sharing (the planner is the chain
+    # producer); the CSR blobs still share.
+    shared_terms = (args.experiment in POOLED_EXPERIMENTS
+                    and args.workers > 1
+                    and not args.no_shared_terms
+                    and not args.no_cache
+                    and runtime_shm.supported())
+
     resume_requested = args.resume or args.fresh
     if args.artifact_dir is not None and not resume_requested:
         parser.error("--artifact-dir requires --resume or --fresh")
@@ -454,7 +492,7 @@ def main(argv=None) -> int:
     # The manifest is deterministic and fully known pre-run, which is
     # what lets the artifact store address cells with the *same* config
     # fingerprint the registry stamps on the record afterwards (argv/
-    # workers/plan live outside the fingerprint keys).
+    # workers/plan/shared_terms live outside the fingerprint keys).
     run_manifest = None
     if telemetry_on:
         run_manifest = telemetry.build_manifest(
@@ -463,7 +501,8 @@ def main(argv=None) -> int:
             extra={"experiment": args.experiment, "artifact": artifact,
                    "cache": not args.no_cache, "argv": argv,
                    "workers": args.workers,
-                   "plan": not (args.no_plan or args.no_cache)})
+                   "plan": not (args.no_plan or args.no_cache),
+                   "shared_terms": shared_terms})
     span_epoch_wall = None
     if telemetry_on:
         tracer = telemetry.configure(trace_path=args.trace,
@@ -492,6 +531,11 @@ def main(argv=None) -> int:
             config_fingerprint=telemetry.config_fingerprint(run_manifest),
             consult=not args.fresh)
         artifact_scope = runtime_artifacts.sweep_scope(sweep_artifacts)
+    shm_store = None
+    shm_scope = contextlib.nullcontext()
+    if shared_terms:
+        shm_store = runtime_shm.SharedTermStore()
+        shm_scope = runtime_shm.store_scope(shm_store)
     cache_was_enabled = runtime_cache.is_enabled()
     plan_was_enabled = runtime_plan.is_enabled()
     if args.no_cache:
@@ -503,7 +547,7 @@ def main(argv=None) -> int:
     if args.no_plan or args.no_cache:
         runtime_plan.set_enabled(False)
     try:
-        with monitor_scope, artifact_scope, \
+        with monitor_scope, artifact_scope, shm_scope, \
                 telemetry.span("experiment", experiment=args.experiment,
                                artifact=artifact):
             rows = runner(**kwargs)
@@ -542,6 +586,15 @@ def main(argv=None) -> int:
         print(f"live: {args.live}  chrome-trace: {chrome_trace_path}  "
               f"(heartbeats: {live_summary.get('heartbeats', 0)}, "
               f"stalls: {live_summary.get('stalls', 0)})")
+    shm_info = None
+    if shm_store is not None:
+        shm_info = shm_store.stats()
+        print(f"shared-terms: chains={shm_info.get('chains', 0)} "
+              f"blobs={shm_info.get('blobs', 0)} "
+              f"hits={shm_info.get('hits', 0)} "
+              f"publishes={shm_info.get('publishes', 0)} "
+              f"peak_bytes={shm_info.get('peak_bytes', 0)} "
+              f"unlinked={shm_info.get('segments_unlinked', 0)}")
     artifacts_info = None
     if sweep_artifacts is not None:
         artifacts_info = dict(
@@ -560,10 +613,13 @@ def main(argv=None) -> int:
         if args.experiment in POOLED_EXPERIMENTS:
             pool_info = {"workers": args.workers,
                          "cell_timeout": args.cell_timeout,
-                         "max_retries": args.max_retries}
+                         "max_retries": args.max_retries,
+                         "shared_terms": shared_terms}
             sweep_stats = runtime_pool.last_run_stats()
             if sweep_stats is not None:
                 pool_info["stats"] = sweep_stats
+            if shm_info is not None:
+                pool_info["shm"] = shm_info
         record = telemetry.record_run(
             run_manifest, events=events, summary=summarize_rows(printable),
             trace_path=args.trace, result_path=args.output,

@@ -48,6 +48,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from .. import telemetry
+from . import shm
 
 #: Default bound on process-wide cached transposes. MB sweeps touch many
 #: graphs; bounding the entry count keeps host RAM growth bounded too.
@@ -296,7 +297,16 @@ def transpose_csr(matrix: sp.spmatrix) -> sp.csr_matrix:
     cached = _transpose_cache.get(key, validate=validate)
     if cached is not _MISSING:
         return cached[2]
-    transposed = materialize_transpose(matrix)
+    handle = shm.active_handle()
+    transposed = None
+    fingerprint = None
+    if handle is not None:
+        fingerprint = shm.blob_fingerprint("spmm_t", token)
+        transposed = shared_csr_fetch(handle, fingerprint)
+    if transposed is None:
+        transposed = materialize_transpose(matrix)
+        if handle is not None:
+            shared_csr_publish(handle, fingerprint, transposed)
 
     def _on_collect(_ref, _key=key):
         _transpose_cache.discard(_key)
@@ -304,6 +314,40 @@ def transpose_csr(matrix: sp.spmatrix) -> sp.csr_matrix:
     _transpose_cache.put(key, (weakref.ref(matrix, _on_collect), token,
                                transposed))
     return transposed
+
+
+def shared_csr_fetch(handle, fingerprint: str) -> Optional[sp.csr_matrix]:
+    """Rebuild a published CSR blob as a zero-copy, read-only matrix.
+
+    The payload arrays stay mapped in the shared segment (unlink-safe on
+    POSIX), so a served matrix costs index-lookup + mmap, not a rebuild.
+    Returns None when the blob is absent or malformed — callers fall
+    back to building locally, never to an error.
+    """
+    blob = handle.fetch_blob(fingerprint)
+    if blob is None:
+        return None
+    arrays, meta = blob
+    try:
+        matrix = sp.csr_matrix(
+            (arrays["data"], arrays["indices"], arrays["indptr"]),
+            shape=tuple(meta["shape"]), copy=False)
+    except (KeyError, TypeError, ValueError):
+        return None
+    if meta.get("sorted"):
+        # Publisher guaranteed sortedness; recording it stops scipy from
+        # attempting an in-place sort of the read-only index arrays.
+        matrix.has_sorted_indices = True
+    return matrix
+
+
+def shared_csr_publish(handle, fingerprint: str, matrix: sp.spmatrix) -> bool:
+    """Publish a CSR matrix's payload arrays for sibling processes."""
+    csr = matrix if sp.isspmatrix_csr(matrix) else matrix.tocsr()
+    return handle.publish_blob(
+        fingerprint,
+        {"data": csr.data, "indices": csr.indices, "indptr": csr.indptr},
+        {"shape": list(csr.shape), "sorted": bool(csr.has_sorted_indices)})
 
 
 def transpose_cache_stats() -> dict:

@@ -40,8 +40,13 @@ nested one around precompute). Scopes nest by reuse, so chains live for
 the outermost scope. Pool workers open a *fresh* scope per cell, which
 keeps worker runs deterministic regardless of start method — and means
 ``ops.spmm.calls`` legitimately depends on the execution mode when the
-planner is on (serial sweeps share across cells; one-cell workers
-cannot). Tensor (autodiff) and spectral-grid signals always stream:
+planner is on (serial sweeps share across cells; an isolated worker's
+local store cannot). The cross-process shared term store
+(:mod:`repro.runtime.shm`, on by default for pooled sweeps) closes that
+gap: :meth:`BasisPlanner.chain_terms` consults the sweep's shared index
+before computing a chain suffix and publishes what it computed, so
+sibling workers attach the identical bytes instead of recomputing.
+Tensor (autodiff) and spectral-grid signals always stream:
 caching per-epoch activations would be useless and planning must never
 capture autodiff graphs.
 
@@ -72,6 +77,7 @@ import scipy.sparse as sp
 
 from .. import telemetry
 from . import cache as runtime_cache
+from . import shm as runtime_shm
 from .cache import LRUCache, MISSING, matrix_token
 
 #: Default bound on live chains per planner. Each chain holds up to K+1
@@ -430,6 +436,43 @@ class BasisPlanner:
                 telemetry.inc_counter("plan.terms.hit", hits)
                 telemetry.inc_counter("plan.spmm_avoided",
                                       hits * fam.spmm_per_step)
+            if len(entry.terms) < count:
+                self._extend_chain(ctx, x, fam, params, count, entry,
+                                   token, x_tok)
+            return list(entry.terms[:count])
+
+    def _extend_chain(self, ctx, x, fam: ChainFamily, params: Tuple,
+                      count: int, entry: _ChainEntry, token: Tuple,
+                      x_tok: Tuple) -> None:
+        """Extend a chain to ``count`` terms, sharing across processes.
+
+        With a shared store attached (:func:`repro.runtime.shm
+        .active_handle`, pooled sweeps), the missing suffix is first
+        requested from the cross-process index — terms another worker
+        already computed arrive as read-only shared-memory views, which
+        are bit-identical by construction (the publisher ran the same
+        in-place kernels this process would have). Whatever remains is
+        computed locally and, when this process holds the chain claim,
+        published for the siblings still waiting on it. Without a store
+        this is exactly the original local compute loop.
+        """
+        shared = runtime_shm.active_handle()
+        fingerprint = None
+        claimed = False
+        if shared is not None:
+            fingerprint = runtime_shm.chain_fingerprint(
+                token, ctx.backend, x_tok, fam.name, params)
+            served, claimed = shared.plan_chain(
+                fingerprint, have=len(entry.terms) - 1, want=count - 1)
+            if served:
+                entry.terms.extend(served)
+                self.terms_served += len(served)
+                self.spmm_avoided += len(served) * fam.spmm_per_step
+                telemetry.inc_counter("plan.spmm_avoided",
+                                      len(served) * fam.spmm_per_step)
+        first_order = len(entry.terms)
+        computed: List[np.ndarray] = []
+        try:
             while len(entry.terms) < count:
                 k = len(entry.terms)
                 prev = entry.terms[-1]
@@ -439,9 +482,22 @@ class BasisPlanner:
                 if term is not x:
                     term.setflags(write=False)
                 entry.terms.append(term)
+                computed.append(term)
                 self.terms_computed += 1
                 telemetry.inc_counter("plan.terms.miss")
-            return list(entry.terms[:count])
+        except BaseException:
+            if claimed:
+                shared.abandon_claim(fingerprint)
+            raise
+        if shared is not None and computed:
+            # Opportunistic even without a claim: a waiter that timed out
+            # still offers its suffix; publish_terms refuses stale
+            # offsets, so the first publisher always wins.
+            if not shared.publish_terms(fingerprint, first_order, computed) \
+                    and claimed:
+                shared.abandon_claim(fingerprint)
+        elif claimed:
+            shared.abandon_claim(fingerprint)
 
     def clear(self) -> None:
         """Drop every chain and scratch buffer (scope exit, tests)."""

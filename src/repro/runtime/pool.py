@@ -232,7 +232,8 @@ def _record_run_stats(results: Sequence[CellResult]) -> None:
 # worker side
 # ======================================================================
 def _cell_entry(conn, cell: Cell, telemetry_on: bool, attempt: int = 1,
-                live_conn=None, rss_interval_s: float = 0.2) -> None:
+                live_conn=None, rss_interval_s: float = 0.2,
+                shm_handle=None) -> None:
     """Worker-process entry: run one cell, ship value + telemetry shard.
 
     The worker reconfigures telemetry from scratch (dropping any tracer
@@ -242,11 +243,15 @@ def _cell_entry(conn, cell: Cell, telemetry_on: bool, attempt: int = 1,
     exception. ``live_conn`` is the attempt's dedicated side pipe for
     live heartbeat/RSS events (``None`` when monitoring is off); it is
     separate from the result pipe so a sheared live channel never
-    corrupts the result protocol.
+    corrupts the result protocol. ``shm_handle`` is the sweep's shared
+    term-store client (``None`` when sharing is off); it is installed
+    *around* the fresh plan scope so the planner's chain suffixes fall
+    through to the cross-process index.
     """
     import os
 
     from . import plan
+    from . import shm as shm_mod
     from ..telemetry import live
 
     payload: Dict[str, Any] = {"pid": os.getpid()}
@@ -262,6 +267,7 @@ def _cell_entry(conn, cell: Cell, telemetry_on: bool, attempt: int = 1,
                 telemetry.shutdown()  # discard fork-inherited tracer state
                 tracer = telemetry.configure()
                 with telemetry.span("cell", cell=cell.label), \
+                        shm_mod.worker_scope(shm_handle), \
                         plan.plan_scope(fresh=True):
                     value = cell.fn(**cell.kwargs)
                 metrics_state = tracer.metrics.to_state()
@@ -269,7 +275,8 @@ def _cell_entry(conn, cell: Cell, telemetry_on: bool, attempt: int = 1,
                 payload.update(ok=True, value=value, events=events,
                                metrics=metrics_state)
             else:
-                with plan.plan_scope(fresh=True):
+                with shm_mod.worker_scope(shm_handle), \
+                        plan.plan_scope(fresh=True):
                     payload.update(ok=True, value=cell.fn(**cell.kwargs))
     except BaseException as exc:  # noqa: BLE001 - crash isolation boundary
         payload = {"pid": payload.get("pid"), "ok": False,
@@ -430,6 +437,23 @@ def _run_inline(cell: Cell, monitor=None, sweep=None) -> CellResult:
                       metrics_state=metrics_state)
 
 
+def _worker_shm_handle(start_method: str):
+    """The sweep's shared-term-store client for worker processes, if any.
+
+    Requires an active :func:`repro.runtime.shm.store_scope` whose lock
+    was created under the same start method the pool is about to use —
+    a fork-context lock cannot be pickled into a spawn worker.
+    """
+    from . import shm as shm_mod
+
+    store = shm_mod.active_store()
+    if store is None:
+        return None
+    if store.start_method != start_method:
+        return None
+    return store.worker_handle()
+
+
 def _run_pooled(cells: List[Cell], config: PoolConfig,
                 monitor=None, cached: Optional[Dict[int, CellResult]] = None,
                 sweep=None) -> List[CellResult]:
@@ -440,6 +464,7 @@ def _run_pooled(cells: List[Cell], config: PoolConfig,
 
     ctx = mp.get_context(config.start_method or _default_start_method())
     telemetry_on = telemetry.enabled()
+    shm_handle = _worker_shm_handle(ctx.get_start_method())
     cached = cached or {}
     results: List[Optional[CellResult]] = [None] * len(cells)
     for index, result in cached.items():
@@ -503,7 +528,8 @@ def _run_pooled(cells: List[Cell], config: PoolConfig,
                 target=_cell_entry,
                 args=(child_conn, cells[index], telemetry_on, attempt_no,
                       live_child, (monitor.config.rss_interval_s
-                                   if monitor is not None else 0.2)),
+                                   if monitor is not None else 0.2),
+                      shm_handle),
                 daemon=True)
             proc.start()
             child_conn.close()

@@ -309,6 +309,20 @@ def memory_block(events=(), metrics: Optional[Mapping] = None) -> Dict:
                 device_peak = max(device_peak, int(value))
     summary["device_peak_bytes"] = device_peak
 
+    # Shared-memory term store footprint (pooled sweeps with
+    # --shared-terms): the peak published payload bytes, folded in from
+    # whichever process set the gauge highest. Absent gauge → no key, so
+    # serial/unshared records are byte-identical to pre-shm ones.
+    shm_peak = None
+    if isinstance(gauges, Mapping):
+        value = gauges.get("shm.store.peak_bytes")
+        if isinstance(value, Mapping):
+            value = value.get("max", value.get("value"))
+        if isinstance(value, (int, float)):
+            shm_peak = int(value)
+    if shm_peak is not None:
+        summary["shm_peak_bytes"] = shm_peak
+
     rss_peak = summary.get("rss_peak_bytes") or 0
     ledger_peak = summary.get("peak_bytes") or 0
     summary["coverage"] = {

@@ -569,3 +569,85 @@ class TestKillAndResume:
         assert canonical_payload([r.value for r in resumed]) \
             == canonical_payload([r.value for r in reference]), \
             "resumed payload must be byte-identical to a never-killed run"
+
+
+@pytest.mark.slow
+class TestShmKillMidAttach:
+    """SIGKILL a worker mid-attach; store cleanup must stay airtight.
+
+    The victim attaches a shared blob (live mapping into a data segment)
+    and then dies while HOLDING the cross-process store lock — the worst
+    case a dead node leaves behind. The owner's scope exit must still
+    unlink every segment of the run (cleanup is lock-free by design),
+    the driver must exit cleanly, and stderr must carry no
+    resource_tracker warnings or KeyError tracebacks (the tracker
+    bookkeeping bugs this guards against are silent leaks in CI logs).
+    """
+
+    DRIVER = """\
+import multiprocessing as mp
+import os
+import signal
+import sys
+import time
+
+import numpy as np
+
+from repro.runtime import shm
+from repro.runtime.shm import SharedTermStore, StoreConfig, blob_fingerprint
+
+assert shm.supported()
+ctx = mp.get_context("fork")
+store = SharedTermStore(config=StoreConfig(lock_timeout_s=1.0),
+                        mp_context=ctx)
+fp = blob_fingerprint("norm", ("kill-mid-attach",))
+
+
+def victim(handle, ready):
+    with shm.worker_scope(handle) as active:
+        got, _meta = active.fetch_blob(fp)  # live view into a segment
+        active._lock.acquire()              # die holding the store lock
+        ready.send(float(np.asarray(got["a"]).sum()))
+        time.sleep(300)
+
+
+with shm.store_scope(store):
+    assert store.publish_blob(fp, {"a": np.arange(6.0)})
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=victim,
+                       args=(store.worker_handle(), child_conn))
+    proc.start()
+    child_conn.close()
+    assert parent_conn.poll(30.0), "victim never attached"
+    assert parent_conn.recv() == 15.0
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.join(timeout=30.0)
+    assert proc.exitcode == -signal.SIGKILL
+# Scope exit closed the store: stats snapshot hit the dead holder's
+# lock (bounded by lock_timeout_s), cleanup ran lock-free regardless.
+prefix = shm.SEGMENT_PREFIX + store.run_id
+leftovers = [name for name in os.listdir("/dev/shm")
+             if name.startswith(prefix)]
+assert not leftovers, f"leaked segments: {leftovers}"
+print("CLEAN")
+"""
+
+    def test_sigkill_holding_lock_never_leaks_or_warns(self, tmp_path):
+        import subprocess
+        import sys
+
+        from repro.runtime import shm as shm_mod
+        if not shm_mod.supported():
+            pytest.skip("POSIX shared memory unavailable")
+        driver = tmp_path / "kill_mid_attach.py"
+        driver.write_text(self.DRIVER)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        proc = subprocess.run([sys.executable, str(driver)],
+                              env={**os.environ, "PYTHONPATH": src},
+                              capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        assert "CLEAN" in proc.stdout
+        for marker in ("resource_tracker", "KeyError", "leaked"):
+            assert marker not in proc.stderr, (
+                f"store cleanup emitted {marker!r} on stderr:\n"
+                f"{proc.stderr}")
