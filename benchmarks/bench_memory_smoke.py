@@ -170,7 +170,7 @@ def test_memory_smoke_gate(benchmark):
     assert report["exit_codes"] == [0, 0]
     assert report["entries"] == 2
     for record in (baseline, candidate):
-        assert record.schema.endswith("/v5")
+        assert record.schema.endswith("/v6")
         assert record.memory["peak_bytes"] > 0
         assert record.memory["total_alloc_bytes"] \
             >= record.memory["peak_bytes"]

@@ -139,5 +139,5 @@ def test_resume_smoke_gate(benchmark):
     # --- registry: one config, two modes (schema v4).
     assert fresh.config_fingerprint == resumed.config_fingerprint, \
         "resume mode leaked into the config fingerprint"
-    assert fresh.schema.endswith("/v5")
+    assert fresh.schema.endswith("/v6")
     assert resumed.artifacts["mode"] == "resume"

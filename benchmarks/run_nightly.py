@@ -120,6 +120,15 @@ def main(argv=None) -> int:
         _run(f"bench-{name}",
              [python, "-m", "pytest", str(gate), "-x", "-q"], results)
 
+    # Full-scale Table 5 gate (not a *_smoke, so chained explicitly):
+    # chameleon at scale=1.0 through the blocked tier, under its pinned
+    # memory ceiling — the nightly proof that full-size size-S rows stay
+    # measurable, not extrapolated.
+    _run("bench-table5-fullscale",
+         [python, "-m", "pytest",
+          str(BENCH_DIR / "bench_table5_fullscale.py"), "-x", "-q"],
+         results)
+
     before = _record_count(registry_dir)
     sweep_ok = _run(
         "nightly-sweep",

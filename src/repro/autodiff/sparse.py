@@ -23,6 +23,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..errors import AutodiffError
+from ..runtime import blocked as _blocked
 from ..runtime import cache as _cache
 from .tensor import Tensor, _notify_alloc, _notify_op
 
@@ -45,8 +46,11 @@ def spmm(matrix: sp.spmatrix, dense: Tensor, backend: str = "csr") -> Tensor:
             f"spmm shape mismatch: {matrix.shape} @ {dense.shape}"
         )
     if backend == "csr":
+        # All CSR products route through the blocked tier hook: a no-op
+        # `csr @ dense` without an active blocked scope, row-tiled (and
+        # bit-identical, since CSR rows accumulate independently) with one.
         csr = matrix.tocsr()
-        data = csr @ dense.data
+        data = _blocked.spmm_csr(csr, dense.data)
         width = dense.shape[1] if dense.ndim > 1 else 1
         _notify_op("spmm", 2 * csr.nnz * width, data.nbytes)
         csr_t: Optional[sp.csr_matrix] = None
@@ -60,10 +64,10 @@ def spmm(matrix: sp.spmatrix, dense: Tensor, backend: str = "csr") -> Tensor:
             # backward passes through the same node.
             nonlocal csr_t
             if _cache.is_enabled():
-                return (_cache.transpose_csr(csr) @ grad,)
+                return (_blocked.spmm_csr(_cache.transpose_csr(csr), grad),)
             if csr_t is None:
                 csr_t = _cache.materialize_transpose(csr)
-            return (csr_t @ grad,)
+            return (_blocked.spmm_csr(csr_t, grad),)
 
         return Tensor._make(np.asarray(data), (dense,), backward, "spmm")
     if backend == "coo_gather":
@@ -107,7 +111,7 @@ def spmm_numpy(matrix: sp.spmatrix, dense: np.ndarray, backend: str = "csr") -> 
     """
     if backend == "csr":
         csr = matrix.tocsr()
-        out = np.asarray(csr @ dense)
+        out = _blocked.spmm_csr(csr, dense)
         width = dense.shape[1] if dense.ndim > 1 else 1
         _notify_op("spmm", 2 * csr.nnz * width, out.nbytes)
         return out

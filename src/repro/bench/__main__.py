@@ -93,6 +93,7 @@ from pathlib import Path
 from typing import Dict
 
 from .. import telemetry
+from ..runtime import blocked as runtime_blocked
 from ..runtime import cache as runtime_cache
 from ..runtime import plan as runtime_plan
 from ..runtime import pool as runtime_pool
@@ -140,7 +141,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--epochs", type=int, default=None)
     parser.add_argument("--seeds", nargs="+", type=int, default=None)
     parser.add_argument("--scale", type=float, default=None,
-                        help="dataset scale override")
+                        help="dataset scale override (validated against the "
+                             "synthesizer's supported range at parse time)")
+    parser.add_argument("--blocked", action="store_true",
+                        help="run propagation through the out-of-core "
+                             "blocked tier: row-tiled CSR spmm sized to the "
+                             "RAM budget, and planner terms that spill to "
+                             "mmap-backed files instead of being recomputed "
+                             "(bit-identical to the in-core path; serial "
+                             "runs only)")
+    parser.add_argument("--ram-budget", type=float, default=None,
+                        metavar="MIB",
+                        help="RAM budget of the blocked tier in MiB "
+                             "(default: current RSS, floored at 64 MiB); "
+                             "requires --blocked")
+    parser.add_argument("--spill-dir", type=str, default=None, metavar="DIR",
+                        help="directory for spilled term matrices (default: "
+                             "a private temp dir removed after the run); "
+                             "requires --blocked")
     parser.add_argument("--capacity-gib", type=float, default=None,
                         help="simulated device capacity (GiB)")
     parser.add_argument("--workers", type=int, default=1, metavar="N",
@@ -408,6 +426,25 @@ def main(argv=None) -> int:
     if not 0.0 < args.stall_fraction < 1.0:
         parser.error("--stall-fraction must be strictly between 0 and 1")
 
+    if args.scale is not None:
+        from ..datasets.synthesis import validate_scale
+        from ..errors import DatasetError
+
+        try:
+            validate_scale(args.scale)
+        except DatasetError as error:
+            parser.error(str(error))
+
+    if args.ram_budget is not None and not args.blocked:
+        parser.error("--ram-budget requires --blocked")
+    if args.spill_dir is not None and not args.blocked:
+        parser.error("--spill-dir requires --blocked")
+    if args.ram_budget is not None and args.ram_budget <= 0:
+        parser.error("--ram-budget must be a positive MiB count")
+    if args.blocked and args.workers > 1:
+        parser.error("--blocked is serial-only (the tier scope is "
+                     "process-local); drop --workers")
+
     entry = EXPERIMENTS.get(args.experiment)
     if entry is None:
         parser.error(f"unknown experiment {args.experiment!r}; use --list")
@@ -502,7 +539,9 @@ def main(argv=None) -> int:
                    "cache": not args.no_cache, "argv": argv,
                    "workers": args.workers,
                    "plan": not (args.no_plan or args.no_cache),
-                   "shared_terms": shared_terms})
+                   "shared_terms": shared_terms,
+                   "blocked": args.blocked,
+                   "ram_budget_mib": args.ram_budget})
     span_epoch_wall = None
     if telemetry_on:
         tracer = telemetry.configure(trace_path=args.trace,
@@ -536,6 +575,14 @@ def main(argv=None) -> int:
     if shared_terms:
         shm_store = runtime_shm.SharedTermStore()
         shm_scope = runtime_shm.store_scope(shm_store)
+    blocked_tier = None
+    blocked_scope = contextlib.nullcontext()
+    if args.blocked:
+        blocked_tier = runtime_blocked.BlockedTier(
+            ram_budget_bytes=(int(args.ram_budget * 2 ** 20)
+                              if args.ram_budget is not None else None),
+            spill_dir=args.spill_dir)
+        blocked_scope = runtime_blocked.blocked_scope(blocked_tier)
     cache_was_enabled = runtime_cache.is_enabled()
     plan_was_enabled = runtime_plan.is_enabled()
     if args.no_cache:
@@ -546,12 +593,17 @@ def main(argv=None) -> int:
         clear_eig_cache()
     if args.no_plan or args.no_cache:
         runtime_plan.set_enabled(False)
+    blocked_info = None
     try:
-        with monitor_scope, artifact_scope, shm_scope, \
+        with monitor_scope, artifact_scope, shm_scope, blocked_scope, \
                 telemetry.span("experiment", experiment=args.experiment,
                                artifact=artifact):
             rows = runner(**kwargs)
     finally:
+        if blocked_tier is not None:
+            # Capture before close(): close purges the spill dir.
+            blocked_info = blocked_tier.stats()
+            blocked_tier.close()
         events = telemetry.shutdown() if telemetry_on else []
         if args.no_cache:
             runtime_cache.set_enabled(cache_was_enabled)
@@ -595,6 +647,14 @@ def main(argv=None) -> int:
               f"publishes={shm_info.get('publishes', 0)} "
               f"peak_bytes={shm_info.get('peak_bytes', 0)} "
               f"unlinked={shm_info.get('segments_unlinked', 0)}")
+    if blocked_info is not None:
+        print(f"blocked: budget={blocked_info['ram_budget_bytes']} "
+              f"spmm={blocked_info['spmm_calls']} "
+              f"tiles={blocked_info['tiles']} "
+              f"spill_files={blocked_info['spill_files']} "
+              f"spill_bytes={blocked_info['spill_bytes']} "
+              f"loads={blocked_info['load_files']} "
+              f"mmap_peak_bytes={blocked_info['mmap_peak_bytes']}")
     artifacts_info = None
     if sweep_artifacts is not None:
         artifacts_info = dict(

@@ -150,22 +150,26 @@ def _efficiency_cell(dataset_name: str, filter_name: str, scheme: str,
     result = run_node_classification(
         graph, filter_name, scheme=scheme, config=run_config,
         device_capacity_gib=device_capacity_gib)
-    return [
-        {
-            "dataset": dataset_name,
-            "n": graph.num_nodes,
-            "m": graph.num_edges,
-            "filter": REGISTRY[filter_name].display,
-            "type": REGISTRY[filter_name].category,
-            "scheme": scheme,
-            "status": result.status,
-            "precompute_s": result.precompute_seconds,
-            "train_s_per_epoch": result.train_seconds_per_epoch,
-            "inference_s": result.inference_seconds,
-            "ram_bytes": result.ram_peak_bytes,
-            "device_bytes": result.device_peak_bytes,
-        }
-    ]
+    row = {
+        "dataset": dataset_name,
+        "n": graph.num_nodes,
+        "m": graph.num_edges,
+        "filter": REGISTRY[filter_name].display,
+        "type": REGISTRY[filter_name].category,
+        "scheme": scheme,
+        "status": result.status,
+        "precompute_s": result.precompute_seconds,
+        "train_s_per_epoch": result.train_seconds_per_epoch,
+        "inference_s": result.inference_seconds,
+        "ram_bytes": result.ram_peak_bytes,
+        "device_bytes": result.device_peak_bytes,
+    }
+    if result.cut_edges is not None:
+        # GP expressiveness accounting: edges the clustering severed.
+        row["cut_edges"] = result.cut_edges
+        row["cut_edge_fraction"] = round(result.cut_edge_fraction, 6)
+        row["num_parts"] = result.num_parts
+    return [row]
 
 
 def _effectiveness_cell(dataset_name: str, filter_name: str, scheme: str,

@@ -56,6 +56,34 @@ class SynthesisConfig:
     latent_dim: int = 16
 
 
+#: Supported range of the linear ``scale`` factor. Below the floor the
+#: generator degenerates (every spec collapses onto the ``min_nodes`` /
+#: ``min_edges`` floors, so "different scales" silently produce the same
+#: graph); above 1.0 would extrapolate past the paper-sized statistics.
+MIN_SCALE = 1e-4
+MAX_SCALE = 1.0
+
+
+def validate_scale(scale: float) -> float:
+    """Check ``scale`` against the generator's supported range.
+
+    Returns the value as a float, or raises :class:`DatasetError` with an
+    actionable message. The bench CLI calls this at argument-parse time so
+    an unsupported scale fails immediately instead of deep inside dataset
+    generation.
+    """
+    try:
+        scale = float(scale)
+    except (TypeError, ValueError):
+        raise DatasetError(f"scale must be a number, got {scale!r}") from None
+    if not np.isfinite(scale) or not (MIN_SCALE <= scale <= MAX_SCALE):
+        raise DatasetError(
+            f"scale {scale!r} is outside the synthesizer's supported range "
+            f"[{MIN_SCALE}, {MAX_SCALE}] (1.0 = paper-sized graph)"
+        )
+    return scale
+
+
 def synthesize(
     spec_or_name: DatasetSpec | str,
     scale: float = 1.0,
@@ -74,7 +102,7 @@ def synthesize(
         Generator seed; the same (spec, scale, seed) is bit-reproducible.
     """
     spec = get_spec(spec_or_name) if isinstance(spec_or_name, str) else spec_or_name
-    config = replace(config or SynthesisConfig(), scale=scale)
+    config = replace(config or SynthesisConfig(), scale=validate_scale(scale))
     rng = np.random.default_rng(seed)
 
     n = max(config.min_nodes, int(round(spec.nodes * config.scale)))

@@ -211,7 +211,11 @@ class Graph:
     # ------------------------------------------------------------------
     def subgraph(self, nodes: np.ndarray) -> "Graph":
         """Induced subgraph on ``nodes`` (used by the graph-partition scheme)."""
-        nodes = np.asarray(nodes)
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if nodes.size == 0:
+            raise GraphError(
+                "cannot take the induced subgraph of an empty node set"
+            )
         sub_adj = self.adjacency[nodes][:, nodes].tocsr()
         sub_features = self.features[nodes] if self.features is not None else None
         sub_labels = self.labels[nodes] if self.labels is not None else None

@@ -26,15 +26,21 @@ def bfs_partition(
 ) -> List[np.ndarray]:
     """Partition nodes into ``num_parts`` contiguous clusters via capped BFS.
 
-    Returns a list of node-index arrays covering all nodes exactly once.
-    Clusters are grown breadth-first from random unassigned seeds up to a
-    balanced size cap; leftovers attach to the smallest cluster.
+    Returns a list of node-index arrays covering all nodes exactly once,
+    every part non-empty. Clusters are grown breadth-first from random
+    unassigned seeds up to a balanced size cap; leftovers (disconnected
+    components the BFS never reached) attach to the smallest cluster, and
+    a final rebalance pass steals nodes from the largest clusters so no
+    part comes back empty. A requested ``num_parts`` larger than the node
+    count is clamped to ``n`` (yielding singleton parts) rather than
+    raising — the caller asked for "as many parts as possible".
     """
     if num_parts < 1:
         raise GraphError(f"num_parts must be >= 1, got {num_parts}")
     n = graph.num_nodes
-    if num_parts > n:
-        raise GraphError(f"cannot cut {n} nodes into {num_parts} parts")
+    if n == 0:
+        raise GraphError("cannot partition an empty graph")
+    num_parts = min(num_parts, n)
     rng = rng or np.random.default_rng()
     cap = int(np.ceil(n / num_parts))
     indptr, indices = graph.adjacency.indptr, graph.adjacency.indices
@@ -73,7 +79,23 @@ def bfs_partition(
         parts[smallest].append(node)
         assignment[node] = smallest
 
+    # Rebalance: a BFS sweep that exhausted the node supply early (or a
+    # num_parts close to n) can leave empty parts behind. Steal frontier
+    # nodes from the currently-largest part until every part is non-empty;
+    # num_parts <= n guarantees termination.
+    for part_id in range(num_parts):
+        while not parts[part_id]:
+            largest = max(range(num_parts), key=lambda i: len(parts[i]))
+            stolen = parts[largest].pop()
+            parts[part_id].append(stolen)
+            assignment[stolen] = part_id
+
     return [np.sort(np.asarray(part, dtype=np.int64)) for part in parts]
+
+
+def cut_fraction(graph: Graph, parts: List[np.ndarray]) -> float:
+    """Fraction of directed edges severed by a partition, in ``[0, 1]``."""
+    return cut_edges(graph, parts) / max(graph.num_edges, 1)
 
 
 def cut_edges(graph: Graph, parts: List[np.ndarray]) -> int:

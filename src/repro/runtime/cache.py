@@ -173,6 +173,26 @@ class LRUCache:
         with self._lock:
             self._entries.pop(key, None)
 
+    def pop_lru(self, skip: Any = None) -> Optional[Tuple[Any, Any]]:
+        """Evict the least-recently-used entry (counted, ``on_evict`` fired).
+
+        ``skip`` protects one key — the basis planner uses it to shed
+        resident chains over the blocked tier's byte budget without
+        evicting the chain it is currently extending. Returns the
+        evicted ``(key, value)`` or ``None`` when nothing is evictable.
+        """
+        with self._lock:
+            for key in self._entries:
+                if skip is not None and key == skip:
+                    continue
+                value = self._entries.pop(key)
+                self.evictions += 1
+                self._count("evict")
+                if self.on_evict is not None:
+                    self.on_evict(key, value)
+                return key, value
+            return None
+
     def get_or_compute(self, key: Any, factory: Callable[[], Any],
                        validate: Optional[Callable[[Any], bool]] = None) -> Any:
         """Memoized call: cached value when valid, else ``factory()``."""

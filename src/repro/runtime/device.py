@@ -79,6 +79,25 @@ class DeviceModel:
         """Release a persistent allocation registered via :meth:`to_device`."""
         self.persistent_bytes = max(0, self.persistent_bytes - nbytes_of(obj))
 
+    @contextmanager
+    def resident(self, *objs: Union[int, np.ndarray, sp.spmatrix]) -> Iterator[None]:
+        """Hold ``objs`` on the device for the duration of the block.
+
+        The graph-partition scheme moves one cluster (operator + features)
+        onto the device per step and releases it afterwards, so GP OOMs
+        exactly when the *largest cluster* exceeds capacity — the paper's
+        semantics for partition-based training. If a later ``to_device``
+        raises mid-admission, only the sizes already admitted are freed.
+        """
+        admitted = []
+        try:
+            for obj in objs:
+                admitted.append(self.to_device(obj))
+            yield
+        finally:
+            for size in admitted:
+                self.free(size)
+
     # ------------------------------------------------------------------
     # per-step transient accounting
     # ------------------------------------------------------------------

@@ -55,9 +55,22 @@ Bypass: ``--no-plan`` (this module's :func:`set_enabled`) or the global
 :func:`active_planner` off at serve time; filters then stream exactly
 what the seed code computed.
 
+Spill tier: inside a :func:`repro.runtime.blocked.blocked_scope` the
+store gains a disk-backed level. Evicting a chain — by LRU capacity or
+because resident term bytes exceed the tier's byte budget — writes its
+computed ``T^(k)(L̃)·X`` terms to the tier's :class:`~repro.runtime
+.blocked.SpillStore` (atomic ``.npy`` files keyed by the chain's content
+fingerprint + order) instead of dropping them; a later request for the
+same chain maps the identical bytes back read-only (``numpy.memmap``)
+rather than recomputing the spmm suffix. Spilled-then-reloaded terms are
+bit-identical by construction, so the planner's bit-identity guarantee
+is unchanged.
+
 Counters emitted (when telemetry is configured):
 
 - ``plan.terms.{hit,miss,evict}`` — order-k≥1 term traffic in the store.
+- ``plan.terms.{spill,spill_load}`` — terms written to / mapped back
+  from the blocked tier's spill store (zero outside a blocked scope).
 - ``plan.spmm_avoided`` — spmm applications *not* executed because the
   term was served (a Gaussian chain term avoids 2 per hit).
 - ``plan.chains.{hit,miss,evict}`` — chain-level LRU traffic.
@@ -76,6 +89,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from .. import telemetry
+from . import blocked as runtime_blocked
 from . import cache as runtime_cache
 from . import shm as runtime_shm
 from .cache import LRUCache, MISSING, matrix_token
@@ -374,6 +388,12 @@ class _ChainEntry:
     #: ``terms[0]`` is the signal itself; computed terms are read-only.
     terms: List[Any]
     spmm_per_step: int
+    #: Content fingerprint used as the spill-store key (computed only
+    #: inside a blocked scope; ``None`` otherwise).
+    fingerprint: Optional[str] = None
+    #: RAM held by locally-computed terms (memmap/shm-served terms are
+    #: file- or segment-backed and excluded), driving budget eviction.
+    resident_bytes: int = 0
 
 
 class BasisPlanner:
@@ -397,12 +417,44 @@ class BasisPlanner:
         self.terms_served = 0
         self.terms_computed = 0
         self.spmm_avoided = 0
+        self.terms_spilled = 0
+        self.terms_loaded = 0
+        self._resident_bytes = 0
 
-    @staticmethod
-    def _on_evict(key: Any, entry: _ChainEntry) -> None:
+    def _on_evict(self, key: Any, entry: _ChainEntry) -> None:
+        """Chain eviction: count dropped terms and, inside a blocked
+        scope, spill them to disk so re-requests map instead of
+        recompute."""
         dropped = max(len(entry.terms) - 1, 0)
         if dropped:
             telemetry.inc_counter("plan.terms.evict", dropped)
+        self._resident_bytes -= entry.resident_bytes
+        entry.resident_bytes = 0
+        tier = runtime_blocked.active_tier()
+        if tier is None or entry.fingerprint is None:
+            return
+        spilled = 0
+        for order, term in enumerate(entry.terms):
+            if order == 0 or isinstance(term, np.memmap):
+                # The signal belongs to the caller; memmap terms already
+                # live in the store under this same fingerprint.
+                continue
+            if tier.spill.put((entry.fingerprint, order), term):
+                spilled += 1
+        if spilled:
+            self.terms_spilled += spilled
+            telemetry.inc_counter("plan.terms.spill", spilled)
+
+    def _enforce_term_budget(self, current_key: Any) -> None:
+        """Shed least-recent chains while resident term bytes exceed the
+        blocked tier's budget (never the chain being served)."""
+        tier = runtime_blocked.active_tier()
+        if tier is None:
+            return
+        while self._resident_bytes > tier.term_budget_bytes \
+                and len(self._chains) > 1:
+            if self._chains.pop_lru(skip=current_key) is None:
+                break
 
     def chain_terms(self, ctx, x: np.ndarray, family: str, params: Tuple,
                     count: int) -> Sequence[np.ndarray]:
@@ -429,6 +481,10 @@ class BasisPlanner:
                 entry = _ChainEntry(weakref.ref(matrix, _purge), token,
                                     x_tok, [x], fam.spmm_per_step)
                 self._chains.put(key, entry)
+            if entry.fingerprint is None \
+                    and runtime_blocked.active_tier() is not None:
+                entry.fingerprint = runtime_shm.chain_fingerprint(
+                    token, ctx.backend, x_tok, fam.name, params)
             hits = max(min(len(entry.terms), count) - 1, 0)
             if hits:
                 self.terms_served += hits
@@ -439,6 +495,7 @@ class BasisPlanner:
             if len(entry.terms) < count:
                 self._extend_chain(ctx, x, fam, params, count, entry,
                                    token, x_tok)
+                self._enforce_term_budget(key)
             return list(entry.terms[:count])
 
     def _extend_chain(self, ctx, x, fam: ChainFamily, params: Tuple,
@@ -470,6 +527,24 @@ class BasisPlanner:
                 self.spmm_avoided += len(served) * fam.spmm_per_step
                 telemetry.inc_counter("plan.spmm_avoided",
                                       len(served) * fam.spmm_per_step)
+        # Spill tier (blocked scope): terms this planner evicted to disk
+        # earlier map back read-only instead of recomputing the suffix.
+        tier = runtime_blocked.active_tier()
+        if tier is not None and entry.fingerprint is not None:
+            loaded = 0
+            while len(entry.terms) < count:
+                term = tier.spill.get((entry.fingerprint, len(entry.terms)))
+                if term is None:
+                    break
+                entry.terms.append(term)
+                loaded += 1
+            if loaded:
+                self.terms_loaded += loaded
+                self.terms_served += loaded
+                self.spmm_avoided += loaded * fam.spmm_per_step
+                telemetry.inc_counter("plan.terms.spill_load", loaded)
+                telemetry.inc_counter("plan.spmm_avoided",
+                                      loaded * fam.spmm_per_step)
         first_order = len(entry.terms)
         computed: List[np.ndarray] = []
         try:
@@ -483,6 +558,8 @@ class BasisPlanner:
                     term.setflags(write=False)
                 entry.terms.append(term)
                 computed.append(term)
+                entry.resident_bytes += int(term.nbytes)
+                self._resident_bytes += int(term.nbytes)
                 self.terms_computed += 1
                 telemetry.inc_counter("plan.terms.miss")
         except BaseException:
@@ -504,6 +581,7 @@ class BasisPlanner:
         with self._lock:
             self._chains.clear()
             self._workspace.clear()
+            self._resident_bytes = 0
 
     def stats(self) -> dict:
         """Local traffic summary (telemetry-independent)."""
@@ -515,6 +593,9 @@ class BasisPlanner:
                 "terms_served": self.terms_served,
                 "terms_computed": self.terms_computed,
                 "spmm_avoided": self.spmm_avoided,
+                "terms_spilled": self.terms_spilled,
+                "terms_loaded": self.terms_loaded,
+                "resident_term_bytes": self._resident_bytes,
             }
 
 

@@ -323,6 +323,37 @@ def memory_block(events=(), metrics: Optional[Mapping] = None) -> Dict:
     if shm_peak is not None:
         summary["shm_peak_bytes"] = shm_peak
 
+    # Blocked-tier accounting (schema v6): bytes living in spill files or
+    # memory-mapped read-only are *not* allocation-ledger RAM — they are
+    # reported next to the peak, never inside it, so peak attribution
+    # stays truthful. All-zero (tier never active) → no key, keeping
+    # v5-shaped records byte-identical when the tier is off.
+    counters = (metrics or {}).get("counters") or {}
+    if not isinstance(counters, Mapping):
+        counters = {}
+
+    def _count(name: str) -> int:
+        value = counters.get(name)
+        return int(value) if isinstance(value, (int, float)) else 0
+
+    mmap_peak = 0
+    if isinstance(gauges, Mapping):
+        value = gauges.get("blocked.mmap_peak_bytes")
+        if isinstance(value, Mapping):
+            value = value.get("max", value.get("value"))
+        if isinstance(value, (int, float)):
+            mmap_peak = int(value)
+    blocked = {
+        "spmm_calls": _count("blocked.spmm_calls"),
+        "tiles": _count("blocked.tiles"),
+        "spill_bytes": _count("blocked.spill_bytes"),
+        "spill_terms": _count("plan.terms.spill"),
+        "spill_loads": _count("plan.terms.spill_load"),
+        "mmap_bytes": mmap_peak,
+    }
+    if any(blocked.values()):
+        summary["blocked"] = blocked
+
     rss_peak = summary.get("rss_peak_bytes") or 0
     ledger_peak = summary.get("peak_bytes") or 0
     summary["coverage"] = {

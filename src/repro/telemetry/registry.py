@@ -49,9 +49,13 @@ PathLike = Union[str, Path]
 #: allocation ledger's peak/live accounting, peak attribution, and the
 #: DeviceModel-vs-ledger-vs-RSS accounting-coverage ratios, also outside
 #: the fingerprint (how memory was *observed* must not change what was
-#: measured). Older lines (no such keys) still load —
+#: measured); v6 (PR 10) added the ``blocked`` sub-block inside
+#: ``memory`` — out-of-core tier accounting (tile counts, spill bytes,
+#: spilled/reloaded planner terms, peak mmap bytes), present only when
+#: the blocked tier actually ran so tier-off records stay v5-shaped.
+#: Older lines (no such keys) still load —
 #: :meth:`RunRecord.from_dict` fills the serial/None/empty defaults.
-REGISTRY_SCHEMA = "repro.telemetry.registry/v5"
+REGISTRY_SCHEMA = "repro.telemetry.registry/v6"
 
 #: File name of the append-only index inside the registry directory.
 REGISTRY_FILENAME = "runs.jsonl"

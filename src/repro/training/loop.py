@@ -66,6 +66,11 @@ class RunResult:
     #: Final full-graph logits (n, C) from the best model, for node-wise
     #: analyses (degree bias, t-SNE); None after an OOM.
     predictions: Optional[np.ndarray] = None
+    #: Graph-partition expressiveness accounting (None for other schemes):
+    #: directed edges severed by the clustering and their fraction of m.
+    cut_edges: Optional[int] = None
+    cut_edge_fraction: Optional[float] = None
+    num_parts: Optional[int] = None
 
     @property
     def is_oom(self) -> bool:
@@ -85,7 +90,7 @@ class RunResult:
         return self.profiler.seconds("inference")
 
     def summary(self) -> Dict[str, float]:
-        return {
+        summary = {
             "status": self.status,
             "test": self.test_score,
             "valid": self.valid_score,
@@ -96,6 +101,11 @@ class RunResult:
             "device_peak_bytes": self.device_peak_bytes,
             "ram_peak_bytes": self.ram_peak_bytes,
         }
+        if self.cut_edges is not None:
+            summary["cut_edges"] = self.cut_edges
+            summary["cut_edge_fraction"] = self.cut_edge_fraction
+            summary["num_parts"] = self.num_parts
+        return summary
 
 
 class EarlyStopper:

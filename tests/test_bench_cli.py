@@ -147,6 +147,38 @@ class TestPoolCli:
         with pytest.raises(SystemExit):
             main(["efficiency", "--root-seed", "7"])  # effectiveness-only
 
+    def test_parser_accepts_blocked_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["efficiency", "--blocked",
+                                  "--ram-budget", "64",
+                                  "--spill-dir", "/tmp/spill"])
+        assert args.blocked
+        assert args.ram_budget == 64.0
+        assert args.spill_dir == "/tmp/spill"
+
+    def test_blocked_flag_validation(self):
+        with pytest.raises(SystemExit):
+            main(["efficiency", "--ram-budget", "64"])  # needs --blocked
+        with pytest.raises(SystemExit):
+            main(["efficiency", "--spill-dir", "/tmp/x"])  # needs --blocked
+        with pytest.raises(SystemExit):
+            main(["efficiency", "--blocked", "--ram-budget", "0"])
+        with pytest.raises(SystemExit):
+            main(["efficiency", "--blocked", "--workers", "4"])
+
+    def test_unsupported_scale_fails_at_parse_time(self, capsys):
+        # Out-of-range scales error immediately with the supported range
+        # in the message — not deep inside dataset generation.
+        for bad in ("4.2", "0", "-0.5", "1e-9", "nan"):
+            with pytest.raises(SystemExit):
+                main(["efficiency", "--scale", bad])
+            assert "supported range" in capsys.readouterr().err
+
+    def test_supported_scale_parses(self):
+        parser = build_parser()
+        args = parser.parse_args(["efficiency", "--scale", "0.05"])
+        assert args.scale == 0.05
+
     def test_scale_shift_accepts_workers(self):
         parser = build_parser()
         args = parser.parse_args(["scale-shift", "--workers", "2"])
@@ -313,7 +345,7 @@ class TestResumeCli:
         fresh_rec, resume_rec = RunRegistry(tmp_path / "reg").load()
         assert fresh_rec.config_fingerprint == resume_rec.config_fingerprint, \
             "resume mode must stay outside the config fingerprint"
-        assert fresh_rec.schema.endswith("/v5")
+        assert fresh_rec.schema.endswith("/v6")
         assert fresh_rec.artifacts["mode"] == "fresh"
         assert fresh_rec.artifacts["stored"] == 1
         assert resume_rec.artifacts["mode"] == "resume"

@@ -245,6 +245,40 @@ class TestEvictionAndPurge:
         assert addresses[2] in store, "the just-written cell is protected"
         assert store.evictions == 1
 
+    def test_identical_mtimes_evict_in_address_order(self, tmp_path):
+        """FAT/coarse-clock filesystems: ties break on the address.
+
+        With every payload stamped the same mtime the LRU key degenerates
+        to its ``(mtime, addr)`` tiebreaker — victim selection must be
+        the lexicographically smallest addresses, on every platform, or
+        resumed sweeps would serve different survivors per filesystem.
+        """
+        store = ArtifactStore(tmp_path / "store", max_cells=2)
+        addresses = [c * 64 for c in "dbca"]
+        for address in addresses:
+            store.put(address, {"v": address[0]})
+            # Same second-granularity timestamp for every payload, as a
+            # coarse-clock filesystem would report.
+            os.utime(store.payload_path(address), (1000, 1000))
+        # Victims at each over-bound check are the lexicographically
+        # smallest tied addresses ("b" when "c" lands, then "c" when "a"
+        # lands); the just-written cell is always protected.
+        assert sorted(store.addresses()) == ["a" * 64, "d" * 64]
+        assert store.evictions == 2
+
+    def test_identical_mtimes_eviction_is_reproducible(self, tmp_path):
+        """Two identical insert sequences pick identical victims."""
+        def run():
+            root = tmp_path / f"store-{run.count}"
+            run.count += 1
+            store = ArtifactStore(root, max_cells=3)
+            for c in "fbeadc":
+                store.put(c * 64, {"v": c})
+                os.utime(store.payload_path(c * 64), (1000, 1000))
+            return sorted(store.addresses())
+        run.count = 0
+        assert run() == run()
+
     def test_purge_drops_everything_and_strays(self, store):
         for c in "ab":
             store.put(c * 64, {"v": c})

@@ -416,6 +416,31 @@ class TestMemoryBlock:
         ratio = block["coverage"]["ledger_vs_rss"]
         assert ratio is not None and 0 < ratio <= 1.0
 
+    def test_blocked_subblock_absent_when_tier_never_ran(self):
+        ledger = AllocationLedger(sample=True, sample_interval_s=0.0)
+        ledger.on_alloc(2 ** 20, None, "leaf", "a")
+        events = [{"type": "memory", "memory": ledger.summary()}]
+        block = memory_block(events, {"counters": {}, "gauges": {}})
+        assert "blocked" not in block
+
+    def test_blocked_subblock_carries_spill_traffic(self):
+        ledger = AllocationLedger(sample=True, sample_interval_s=0.0)
+        ledger.on_alloc(2 ** 20, None, "leaf", "a")
+        events = [{"type": "memory", "memory": ledger.summary()}]
+        metrics = {
+            "counters": {"blocked.spmm_calls": 7, "blocked.tiles": 21,
+                         "blocked.spill_bytes": 4096,
+                         "plan.terms.spill": 3, "plan.terms.spill_load": 2},
+            "gauges": {"blocked.mmap_peak_bytes":
+                       {"value": 1024, "max": 2048}},
+        }
+        block = memory_block(events, metrics)
+        assert block["blocked"] == {
+            "spmm_calls": 7, "tiles": 21, "spill_bytes": 4096,
+            "spill_terms": 3, "spill_loads": 2, "mmap_bytes": 2048}
+        # Spill/mmap bytes sit next to the peak, never inside it.
+        assert block["peak_bytes"] == 2 ** 20
+
     def test_registry_record_carries_memory_block(self, tmp_path):
         telemetry.configure()
         with telemetry.span("stage"):
@@ -424,7 +449,7 @@ class TestMemoryBlock:
         record = telemetry.record_run(
             telemetry.build_manifest(extra={"experiment": "mem"}),
             events=events, registry_dir=tmp_path)
-        assert record.schema.endswith("/v5")
+        assert record.schema.endswith("/v6")
         assert record.memory["peak_bytes"] >= 16 * 1024
         loaded = telemetry.RunRegistry(tmp_path).load()[0]
         assert loaded.memory["peak_bytes"] == record.memory["peak_bytes"]

@@ -237,7 +237,7 @@ class TestSchemaV2:
                                   "max_retries": 1, "retries": 0})
         loaded = RunRegistry(tmp_path).load()[0]
         assert loaded.run_id == record.run_id
-        assert loaded.schema == "repro.telemetry.registry/v5"
+        assert loaded.schema == "repro.telemetry.registry/v6"
         assert loaded.workers == 4
         assert loaded.pool["cell_timeout"] == 600.0
 
@@ -274,7 +274,7 @@ class TestSchemaV2:
         # the v1 line is the baseline, the v2 append the candidate.
         baseline, candidate = registry.resolve_pair(old.config_fingerprint)
         assert baseline.schema.endswith("/v1")
-        assert candidate.schema.endswith("/v5")
+        assert candidate.schema.endswith("/v6")
         assert passed(evaluate_pair(baseline, candidate, default_thresholds()))
 
 
@@ -321,7 +321,7 @@ class TestSchemaV4:
                                        "hit": 3, "miss": 1, "stored": 1})
         loaded = RunRegistry(tmp_path).load()[0]
         assert loaded.run_id == record.run_id
-        assert loaded.schema == "repro.telemetry.registry/v5"
+        assert loaded.schema == "repro.telemetry.registry/v6"
         assert loaded.artifacts["mode"] == "resume"
         assert loaded.artifacts["hit"] == 3
 
